@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Each bench regenerates one table or figure of the paper. Absolute
+ * numbers come from the documented cycle cost model
+ * (src/cpu/cost_model.hh) — deterministic and machine-independent —
+ * so what should be compared against the paper is the *shape*: who
+ * wins, by roughly what factor, where the outliers are.
+ */
+
+#ifndef FLOWGUARD_BENCH_COMMON_HH
+#define FLOWGUARD_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flowguard.hh"
+#include "support/stats.hh"
+#include "workloads/apps.hh"
+
+namespace flowguard::bench {
+
+/** Benign request stream sized for steady-state measurements. */
+inline std::vector<uint8_t>
+serverLoad(const workloads::ServerSpec &spec, size_t requests,
+           uint64_t seed)
+{
+    return workloads::makeBenignStream(requests, seed,
+                                       spec.numHandlers,
+                                       spec.numParserStates);
+}
+
+/** Builds a guard trained on benign corpus streams. */
+inline FlowGuard
+trainedGuard(const workloads::SyntheticApp &app,
+             const workloads::ServerSpec &spec, size_t corpus_streams,
+             FlowGuardConfig config = {})
+{
+    FlowGuard guard(app.program, std::move(config));
+    guard.analyze();
+    std::vector<fuzz::Input> corpus;
+    for (size_t i = 0; i < corpus_streams; ++i)
+        corpus.push_back(serverLoad(spec, 10, 100 + i));
+    guard.trainWithCorpus(corpus);
+    return guard;
+}
+
+/** Overhead measurement: warm-up run (caches slow-path verdicts,
+ *  §7.1.1 steady state), then a measured protected run against the
+ *  unprotected baseline. */
+struct OverheadResult
+{
+    double overheadPct = 0.0;
+    double tracePct = 0.0;
+    double decodePct = 0.0;
+    double checkPct = 0.0;
+    double otherPct = 0.0;
+    FlowGuard::RunOutcome protectedRun;
+    FlowGuard::RunOutcome baselineRun;
+};
+
+inline OverheadResult
+measureOverhead(FlowGuard &guard, const std::vector<uint8_t> &warm_input,
+                const std::vector<uint8_t> &input)
+{
+    OverheadResult result;
+    (void)guard.run(warm_input);                    // steady state
+    result.protectedRun = guard.run(input);
+    result.baselineRun = guard.runUnprotected(input);
+    const auto &cycles = result.protectedRun.cycles;
+    const double app = cycles.app > 0 ? cycles.app : 1.0;
+    result.overheadPct = 100.0 * cycles.overheadTotal() / app;
+    result.tracePct = 100.0 * cycles.trace / app;
+    result.decodePct = 100.0 * cycles.decode / app;
+    result.checkPct = 100.0 * cycles.check / app;
+    result.otherPct = 100.0 * cycles.other / app;
+    return result;
+}
+
+inline std::string
+pct(double value)
+{
+    return TablePrinter::fmt(value, 2) + "%";
+}
+
+} // namespace flowguard::bench
+
+#endif // FLOWGUARD_BENCH_COMMON_HH

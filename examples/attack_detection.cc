@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The §7.1.2 demo: a vulnerable nginx-like server, a real ROP
+ * exploit and a real SROP exploit built from its gadget catalog,
+ * executed twice each — once unprotected (the attack succeeds and
+ * exfiltrates data) and once under FlowGuard (detected at the write
+ * and sigreturn endpoints respectively, process killed).
+ */
+
+#include <cstdio>
+
+#include "attacks/chains.hh"
+#include "attacks/gadgets.hh"
+#include "core/flowguard.hh"
+#include "isa/syscalls.hh"
+#include "workloads/apps.hh"
+
+namespace {
+
+using namespace flowguard;
+
+void
+demo(const char *title, FlowGuard &guard,
+     const attacks::AttackInfo &attack)
+{
+    std::printf("--- %s ---\n%s\n", title, attack.description.c_str());
+
+    auto bare = guard.runUnprotected(attack.request);
+    std::printf("  unprotected: stop=%d, %zu bytes exfiltrated%s\n",
+                static_cast<int>(bare.stop), bare.output.size(),
+                bare.output.empty() ? "" : "  <-- attack succeeded");
+
+    auto protected_run = guard.run(attack.request);
+    if (protected_run.attackDetected) {
+        const auto &violation = protected_run.violations.front();
+        std::printf("  FlowGuard:   DETECTED at %s endpoint "
+                    "(%s), flow 0x%llx -> 0x%llx, SIGKILL; "
+                    "%zu bytes exfiltrated\n\n",
+                    isa::syscallName(violation.syscall),
+                    violation.reason.c_str(),
+                    static_cast<unsigned long long>(violation.from),
+                    static_cast<unsigned long long>(violation.to),
+                    protected_run.output.size());
+    } else {
+        std::printf("  FlowGuard:   MISSED (stop=%d)\n\n",
+                    static_cast<int>(protected_run.stop));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== FlowGuard attack detection demo ===\n\n");
+
+    workloads::ServerSpec spec =
+        workloads::serverSuite(/*implant_vuln=*/true)[0];
+    auto app = workloads::buildServerApp(spec);
+    auto catalog = attacks::scanGadgets(app.program);
+    std::printf("gadget catalog: %zu pop gadgets, %zu syscall "
+                "gadgets, %zu ret gadgets, %zu call-preceded flush "
+                "gadgets\n\n",
+                catalog.popGadgets.size(),
+                catalog.syscallGadgets.size(),
+                catalog.retGadgets.size(),
+                catalog.flushGadgets.size());
+
+    FlowGuard guard(app.program);
+    guard.analyze();
+    std::vector<fuzz::Input> corpus;
+    for (uint64_t seed = 1; seed <= 10; ++seed)
+        corpus.push_back(workloads::makeBenignStream(
+            10, seed, spec.numHandlers, spec.numParserStates));
+    guard.trainWithCorpus(corpus);
+
+    demo("traditional ROP", guard,
+         attacks::buildRopWriteAttack(app.program, catalog));
+    demo("SROP", guard,
+         attacks::buildSropAttack(app.program, catalog));
+    demo("return-to-lib", guard,
+         attacks::buildRet2LibAttack(app.program, catalog));
+    demo("history flushing (18 call-preceded hops)", guard,
+         attacks::buildHistoryFlushAttack(app.program, catalog, 18));
+
+    // Benign traffic control: no false positives.
+    auto benign = workloads::makeBenignStream(
+        25, 77, spec.numHandlers, spec.numParserStates);
+    auto outcome = guard.run(benign);
+    std::printf("--- benign control ---\n  25 requests: stop=%d, "
+                "attack=%s, %llu checks (%llu slow)\n",
+                static_cast<int>(outcome.stop),
+                outcome.attackDetected ? "false positive!" : "none",
+                static_cast<unsigned long long>(outcome.monitor.checks),
+                static_cast<unsigned long long>(
+                    outcome.monitor.slowChecks));
+    return 0;
+}

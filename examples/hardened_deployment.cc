@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A hardened-deployment tour of the optional protections beyond the
+ * paper's default configuration:
+ *
+ *  - profile serialization (train once at the vendor, ship the
+ *    profile, load at deployment — §3.3's distribution model);
+ *  - PMI-based periodic checking, which catches endpoint-pruning
+ *    attacks that never touch a sensitive syscall (§7.1.2);
+ *  - path-sensitive fast checking (§7.1.2 future work);
+ *  - the CET comparison: why a shadow stack + ENDBRANCH model is not
+ *    enough (§6).
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "attacks/chains.hh"
+#include "attacks/gadgets.hh"
+#include "core/flowguard.hh"
+#include "core/profile_io.hh"
+#include "runtime/cet.hh"
+#include "workloads/apps.hh"
+
+int
+main()
+{
+    using namespace flowguard;
+
+    std::printf("=== hardened deployment tour ===\n\n");
+
+    workloads::ServerSpec spec =
+        workloads::serverSuite(/*implant_vuln=*/true)[0];
+    spec.workPerRequest = 150;
+    auto app = workloads::buildServerApp(spec);
+    auto catalog = attacks::scanGadgets(app.program);
+
+    // --- vendor side: train once, serialize the profile -----------------
+    FlowGuardConfig config;
+    config.pathSensitive = true;
+    config.pmiChecking = true;
+    config.topaRegions = {1024, 1024};
+    config.psbPeriodBytes = 256;
+
+    std::stringstream shipped_profile;
+    {
+        FlowGuard vendor(app.program, config);
+        vendor.analyze();
+        vendor.train(2'000, {workloads::makeBenignStream(
+                                4, 1, spec.numHandlers,
+                                spec.numParserStates)});
+        std::vector<fuzz::Input> corpus;
+        for (uint64_t seed = 2; seed <= 12; ++seed)
+            corpus.push_back(workloads::makeBenignStream(
+                10, seed, spec.numHandlers, spec.numParserStates));
+        vendor.trainWithCorpus(corpus);
+        saveProfile(vendor, shipped_profile);
+        std::printf("vendor: trained profile serialized (%zu bytes, "
+                    "%zu high-credit edges, %zu paths)\n",
+                    shipped_profile.str().size(),
+                    vendor.itc().highCreditCount(),
+                    vendor.paths()->size());
+    }
+
+    // --- deployment side: load the profile, no training needed -----------
+    FlowGuard guard(app.program, config);
+    loadProfile(guard, shipped_profile);
+    std::printf("deployment: profile loaded, %zu high-credit edges\n\n",
+                guard.itc().highCreditCount());
+
+    // --- endpoint-pruning attack vs the PMI fallback ---------------------
+    auto sneaky = attacks::buildMinimalHijackAttack(app.program);
+    auto input = sneaky.request;
+    for (uint64_t i = 0; i < 6; ++i) {
+        auto filler = workloads::makeBenignStream(
+            1, 80 + i, spec.numHandlers, spec.numParserStates);
+        input.insert(input.end(), filler.begin(), filler.end());
+    }
+    auto outcome = guard.run(input);
+    std::printf("endpoint-pruning hijack (keeps serving, no gadget "
+                "chain near any endpoint):\n  %s\n\n",
+                outcome.attackDetected
+                    ? "DETECTED by a PMI window check"
+                    : "missed");
+
+    // --- the COOP attack against a CET-style defense ---------------------
+    auto coop = attacks::buildCoopAttack(app.program);
+    runtime::CetMonitor cet(app.program);
+    {
+        cpu::Cpu cpu(app.program);
+        cpu::BasicKernel kernel;
+        kernel.setInput(coop.request);
+        cpu.setSyscallHandler(&kernel);
+        cpu.addTraceSink(&cet);
+        cpu.run(20'000'000);
+    }
+    auto coop_outcome = guard.run(coop.request);
+    std::printf("COOP dispatch-table corruption:\n"
+                "  CET model (shadow stack + ENDBRANCH): %s\n"
+                "  FlowGuard:                             %s\n",
+                cet.violated() ? "detected" : "MISSED (coarse "
+                                              "forward edges)",
+                coop_outcome.attackDetected ? "DETECTED" : "missed");
+    return 0;
+}

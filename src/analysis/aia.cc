@@ -1,0 +1,110 @@
+#include "analysis/aia.hh"
+
+#include <set>
+
+#include "isa/insts.hh"
+
+namespace flowguard::analysis {
+
+using isa::Opcode;
+
+AiaReport
+computeAia(const Cfg &cfg, const ItcCfg &itc)
+{
+    AiaReport report;
+    const auto &blocks = cfg.blocks();
+    const auto &edges = cfg.edges();
+    const isa::Program &program = cfg.program();
+
+    // --- O-CFG and fine-grained AIA over indirect branch sites -----------
+    size_t sites = 0;
+    double ocfg_sum = 0.0;
+    double fine_sum = 0.0;
+    for (uint32_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &block = blocks[b];
+        const Opcode term =
+            program.inst(block.firstInst + block.numInsts - 1).op;
+        if (term != Opcode::JmpInd && term != Opcode::CallInd &&
+            term != Opcode::Ret)
+            continue;
+        std::set<uint32_t> targets;
+        for (uint32_t e : cfg.outEdges(b))
+            if (edgeIsIndirect(edges[e].kind))
+                targets.insert(edges[e].to);
+        ++sites;
+        ocfg_sum += static_cast<double>(targets.size());
+        // Slow-path policy: shadow-stack returns have exactly one
+        // valid target; forward edges keep the TypeArmor-narrowed set.
+        fine_sum += term == Opcode::Ret
+            ? 1.0 : static_cast<double>(targets.size());
+    }
+    report.indirectSites = sites;
+    if (sites > 0) {
+        report.ocfg = ocfg_sum / static_cast<double>(sites);
+        report.fine = fine_sum / static_cast<double>(sites);
+    }
+
+    // --- ITC-CFG AIA: out-degree of nodes with successors -----------------
+    size_t itc_nodes = 0;
+    double itc_sum = 0.0;
+    double trained_sum = 0.0;
+    for (size_t node = 0; node < itc.numNodes(); ++node) {
+        const size_t degree = itc.outDegree(node);
+        if (degree == 0)
+            continue;
+        ++itc_nodes;
+        itc_sum += static_cast<double>(degree);
+        // Edge indices for this node are contiguous in the CSR.
+        const int64_t first =
+            itc.targetsBegin(node) -
+            itc.targetsBegin(0);
+        size_t high = 0;
+        for (size_t k = 0; k < degree; ++k)
+            high += itc.highCredit(first + static_cast<int64_t>(k));
+        trained_sum += static_cast<double>(high);
+    }
+    if (itc_nodes > 0) {
+        report.itc = itc_sum / static_cast<double>(itc_nodes);
+        report.trained = trained_sum / static_cast<double>(itc_nodes);
+    }
+
+    // With TNT fork information the direct-flow forks removed by the
+    // reconstruction are restored, so precision returns to the O-CFG
+    // level (§4.3, Figure 4).
+    report.itcWithTnt = report.ocfg;
+    return report;
+}
+
+CfgStats
+computeCfgStats(const Cfg &cfg, const ItcCfg &itc)
+{
+    CfgStats stats;
+    const auto &program = cfg.program();
+    const auto &modules = program.modules();
+    for (const auto &mod : modules)
+        if (mod.kind != isa::ModuleKind::Executable)
+            ++stats.libraryCount;
+
+    auto is_exec = [&](uint32_t module_index) {
+        return modules[module_index].kind ==
+               isa::ModuleKind::Executable;
+    };
+
+    for (const BasicBlock &block : cfg.blocks()) {
+        if (is_exec(block.moduleIndex))
+            ++stats.execBlocks;
+        else
+            ++stats.libBlocks;
+    }
+    for (const Edge &edge : cfg.edges()) {
+        if (is_exec(cfg.blocks()[edge.from].moduleIndex))
+            ++stats.execEdges;
+        else
+            ++stats.libEdges;
+    }
+    stats.itcNodes = itc.numNodes();
+    stats.itcEdges = itc.numEdges();
+    return stats;
+}
+
+} // namespace flowguard::analysis

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CFI-strength metrics: Average Indirect targets Allowed (AIA, after
+ * Ge et al. [22]) and the CFG statistics of the paper's Table 4.
+ *
+ *   AIA = (1/n) * sum_i |T_i|
+ *
+ * over the n indirect branch instructions, T_i the set of targets a
+ * policy allows the i-th one. Variants computed here:
+ *
+ *  - ocfg:        targets allowed by the conservative O-CFG;
+ *  - itc:         out-degree in the raw ITC-CFG (coarser than ocfg —
+ *                 the Figure 4 derogation);
+ *  - itcWithTnt:  ITC-CFG plus TNT fork information, which restores
+ *                 O-CFG precision (the parenthesized Table 4 column);
+ *  - fine:        the slow-path policy — single-target returns via
+ *                 the shadow stack, TypeArmor-narrowed forward edges;
+ *  - trained:     high-credit ITC edges only, what the fast path
+ *                 accepts without deferring (Table 4 "FlowGuard").
+ */
+
+#ifndef FLOWGUARD_ANALYSIS_AIA_HH
+#define FLOWGUARD_ANALYSIS_AIA_HH
+
+#include <cstddef>
+
+#include "analysis/cfg.hh"
+#include "analysis/itc_cfg.hh"
+
+namespace flowguard::analysis {
+
+struct AiaReport
+{
+    double ocfg = 0.0;
+    double itc = 0.0;
+    double itcWithTnt = 0.0;
+    double fine = 0.0;
+    double trained = 0.0;
+    size_t indirectSites = 0;
+
+    /**
+     * The §7.1.1 interpolation: the effective AIA when `cred_ratio`
+     * of checked edges carry high credit (the rest fall back to the
+     * slow path's fine-grained policy).
+     */
+    double
+    atCredRatio(double cred_ratio) const
+    {
+        return cred_ratio * fine + (1.0 - cred_ratio) * itc;
+    }
+};
+
+/** Computes all AIA variants (trained requires labeled credits). */
+AiaReport computeAia(const Cfg &cfg, const ItcCfg &itc);
+
+/** One Table 4 row: per-module-class block/edge counts + ITC size. */
+struct CfgStats
+{
+    size_t libraryCount = 0;
+    size_t execBlocks = 0;
+    size_t libBlocks = 0;
+    size_t execEdges = 0;
+    size_t libEdges = 0;
+    size_t itcNodes = 0;
+    size_t itcEdges = 0;
+};
+
+CfgStats computeCfgStats(const Cfg &cfg, const ItcCfg &itc);
+
+} // namespace flowguard::analysis
+
+#endif // FLOWGUARD_ANALYSIS_AIA_HH

@@ -1,0 +1,69 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace flowguard::analysis {
+
+bool
+edgeIsIndirect(EdgeKind kind)
+{
+    return kind == EdgeKind::IndirectJump ||
+           kind == EdgeKind::IndirectCall || kind == EdgeKind::Return;
+}
+
+Cfg::Cfg(const isa::Program &program, std::vector<BasicBlock> blocks,
+         std::vector<Edge> edges)
+    : _program(program), _blocks(std::move(blocks)),
+      _edges(std::move(edges))
+{
+    fg_assert(std::is_sorted(_blocks.begin(), _blocks.end(),
+                             [](const BasicBlock &a, const BasicBlock &b)
+                             { return a.start < b.start; }),
+              "CFG blocks must be sorted by entry address");
+    _out.resize(_blocks.size());
+    _in.resize(_blocks.size());
+    for (uint32_t i = 0; i < _edges.size(); ++i) {
+        _out[_edges[i].from].push_back(i);
+        _in[_edges[i].to].push_back(i);
+    }
+}
+
+std::optional<uint32_t>
+Cfg::blockAt(uint64_t addr) const
+{
+    auto it = std::lower_bound(
+        _blocks.begin(), _blocks.end(), addr,
+        [](const BasicBlock &b, uint64_t a) { return b.start < a; });
+    if (it == _blocks.end() || it->start != addr)
+        return std::nullopt;
+    return static_cast<uint32_t>(it - _blocks.begin());
+}
+
+std::optional<uint32_t>
+Cfg::blockContaining(uint64_t addr) const
+{
+    auto it = std::upper_bound(
+        _blocks.begin(), _blocks.end(), addr,
+        [](uint64_t a, const BasicBlock &b) { return a < b.start; });
+    if (it == _blocks.begin())
+        return std::nullopt;
+    --it;
+    if (addr >= it->start && addr < it->end)
+        return static_cast<uint32_t>(it - _blocks.begin());
+    return std::nullopt;
+}
+
+size_t
+Cfg::countIndirectTargets() const
+{
+    std::vector<bool> is_target(_blocks.size(), false);
+    for (const Edge &edge : _edges)
+        if (edgeIsIndirect(edge.kind))
+            is_target[edge.to] = true;
+    return static_cast<size_t>(
+        std::count(is_target.begin(), is_target.end(), true));
+}
+
+} // namespace flowguard::analysis

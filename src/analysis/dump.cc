@@ -1,0 +1,158 @@
+#include "analysis/dump.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace flowguard::analysis {
+
+using isa::LoadedFunction;
+using isa::Program;
+
+namespace {
+
+const char *
+moduleKindName(isa::ModuleKind kind)
+{
+    switch (kind) {
+      case isa::ModuleKind::Executable: return "exec";
+      case isa::ModuleKind::SharedLib: return "lib";
+      case isa::ModuleKind::Vdso: return "vdso";
+    }
+    return "?";
+}
+
+const char *
+edgeKindName(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::Fallthrough: return "fall";
+      case EdgeKind::CondTaken: return "cond-t";
+      case EdgeKind::CondFall: return "cond-f";
+      case EdgeKind::DirectJump: return "jmp";
+      case EdgeKind::DirectCall: return "call";
+      case EdgeKind::IndirectJump: return "jmp*";
+      case EdgeKind::IndirectCall: return "call*";
+      case EdgeKind::Return: return "ret";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+dumpFunction(std::ostream &out, const Program &program,
+             const std::string &name)
+{
+    for (const LoadedFunction &fn : program.functions()) {
+        if (fn.name != name)
+            continue;
+        out << "<" << program.modules()[fn.moduleIndex].name << ":"
+            << fn.name << "> " << std::hex << "0x" << fn.entry
+            << "..0x" << fn.end << std::dec << ", " << fn.numInsts
+            << " instructions\n";
+        for (uint32_t i = fn.firstInst; i < fn.firstInst + fn.numInsts;
+             ++i) {
+            out << "  "
+                << isa::disassemble(program.inst(i),
+                                    program.instAddr(i))
+                << "\n";
+        }
+        return;
+    }
+    out << "<no function named '" << name << "'>\n";
+}
+
+void
+dumpModules(std::ostream &out, const Program &program)
+{
+    for (const auto &mod : program.modules()) {
+        size_t functions = 0;
+        for (const auto &fn : program.functions())
+            functions += program.modules()[fn.moduleIndex].name ==
+                         mod.name;
+        out << std::left << std::setw(12) << mod.name << " "
+            << std::setw(5) << moduleKindName(mod.kind) << std::hex
+            << " code 0x" << mod.codeBase << "..0x" << mod.codeEnd
+            << " data 0x" << mod.dataBase << "..0x" << mod.dataEnd
+            << std::dec << "  " << functions << " functions\n";
+    }
+}
+
+void
+dumpCfg(std::ostream &out, const Cfg &cfg, size_t max_blocks)
+{
+    const auto &program = cfg.program();
+    out << cfg.blocks().size() << " basic blocks, "
+        << cfg.edges().size() << " edges\n";
+    for (size_t b = 0; b < cfg.blocks().size() && b < max_blocks;
+         ++b) {
+        const BasicBlock &block = cfg.blocks()[b];
+        const isa::Instruction &term =
+            program.inst(block.firstInst + block.numInsts - 1);
+        out << std::hex << "  [0x" << block.start << "..0x"
+            << block.end << ") " << std::dec
+            << isa::opcodeName(term.op) << " ->";
+        for (uint32_t e : cfg.outEdges(static_cast<uint32_t>(b))) {
+            const Edge &edge = cfg.edges()[e];
+            out << std::hex << " 0x" << cfg.blocks()[edge.to].start
+                << std::dec << "(" << edgeKindName(edge.kind) << ")";
+        }
+        out << "\n";
+    }
+    if (cfg.blocks().size() > max_blocks)
+        out << "  ... (" << cfg.blocks().size() - max_blocks
+            << " more)\n";
+}
+
+void
+dumpItcCfg(std::ostream &out, const Cfg &cfg, const ItcCfg &itc,
+           size_t max_nodes)
+{
+    const auto &program = cfg.program();
+    out << itc.numNodes() << " IT-BBs, " << itc.numEdges()
+        << " edges, " << itc.highCreditCount() << " high-credit\n";
+    for (size_t node = 0; node < itc.numNodes() && node < max_nodes;
+         ++node) {
+        const uint64_t addr = itc.nodeAddr(node);
+        const LoadedFunction *fn = program.functionAt(addr);
+        size_t high = 0;
+        for (const uint64_t *t = itc.targetsBegin(node);
+             t != itc.targetsEnd(node); ++t) {
+            const int64_t edge = itc.findEdge(addr, *t);
+            high += edge >= 0 && itc.highCredit(edge);
+        }
+        out << std::hex << "  0x" << addr << std::dec << " in "
+            << (fn ? fn->name : std::string("?")) << ": "
+            << itc.outDegree(node) << " targets, " << high
+            << " high-credit\n";
+    }
+    if (itc.numNodes() > max_nodes)
+        out << "  ... (" << itc.numNodes() - max_nodes << " more)\n";
+}
+
+void
+dumpTypeArmor(std::ostream &out, const Program &program,
+              const TypeArmorInfo &info, size_t max_rows)
+{
+    out << info.addressTakenEntries.size()
+        << " address-taken functions, " << info.preparedCount.size()
+        << " indirect call sites\n";
+    const auto &funcs = program.functions();
+    size_t rows = 0;
+    for (size_t f = 0; f < funcs.size() && rows < max_rows; ++f) {
+        if (!info.addressTaken[f])
+            continue;
+        out << "  " << funcs[f].name << ": consumes "
+            << int(info.consumedCount[f]) << " args\n";
+        ++rows;
+    }
+    rows = 0;
+    for (const auto &[addr, prepared] : info.preparedCount) {
+        if (rows++ >= max_rows)
+            break;
+        out << std::hex << "  call* @0x" << addr << std::dec
+            << " prepares " << int(prepared) << " args\n";
+    }
+}
+
+} // namespace flowguard::analysis

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Human-readable dumps of the analysis artifacts: disassembly
+ * listings, O-CFG and ITC-CFG edge dumps, and per-function summaries.
+ * The operational counterpart of Dyninst's printing helpers — used by
+ * administrators to audit what the offline phase produced before
+ * deployment, and by us to debug the pipeline.
+ */
+
+#ifndef FLOWGUARD_ANALYSIS_DUMP_HH
+#define FLOWGUARD_ANALYSIS_DUMP_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/cfg.hh"
+#include "analysis/itc_cfg.hh"
+#include "analysis/typearmor.hh"
+#include "isa/program.hh"
+
+namespace flowguard::analysis {
+
+/** Disassembles one function (by name, first match across modules). */
+void dumpFunction(std::ostream &out, const isa::Program &program,
+                  const std::string &name);
+
+/** Module map: name, kind, code/data ranges, function count. */
+void dumpModules(std::ostream &out, const isa::Program &program);
+
+/**
+ * O-CFG listing: per basic block, its range, terminator and
+ * out-edges with kinds. `max_blocks` bounds the output.
+ */
+void dumpCfg(std::ostream &out, const Cfg &cfg,
+             size_t max_blocks = 64);
+
+/**
+ * ITC-CFG listing: per node, the containing function, out-degree,
+ * high-credit out-degree and a sample of targets.
+ */
+void dumpItcCfg(std::ostream &out, const Cfg &cfg, const ItcCfg &itc,
+                size_t max_nodes = 64);
+
+/** TypeArmor summary: per function arity + address-taken flag, and
+ *  per indirect call site the prepared count. */
+void dumpTypeArmor(std::ostream &out, const isa::Program &program,
+                   const TypeArmorInfo &info, size_t max_rows = 64);
+
+} // namespace flowguard::analysis
+
+#endif // FLOWGUARD_ANALYSIS_DUMP_HH

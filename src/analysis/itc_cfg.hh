@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The indirect-targets-connected CFG (ITC-CFG, §4.2) — the paper's
+ * central data structure.
+ *
+ * Nodes are the entry addresses of basic blocks targeted by at least
+ * one indirect edge (IT-BBs). There is an edge x -> y iff, in the
+ * O-CFG, some path leaves x through direct edges only and then takes
+ * exactly one indirect edge landing at y. By construction the TIP
+ * packet stream IPT emits is a walk over this graph: any two
+ * consecutive TIPs must be connected, or an anomaly happened — the
+ * correctness argument of §4.2.
+ *
+ * The edge array layout is the runtime search structure of §5.3: a
+ * sorted node array, per-node sorted target arrays for binary search,
+ * and per-edge credit + TNT annotations filled in by training.
+ */
+
+#ifndef FLOWGUARD_ANALYSIS_ITC_CFG_HH
+#define FLOWGUARD_ANALYSIS_ITC_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace flowguard::analysis {
+
+/** A recorded conditional-outcome sequence for one ITC edge. */
+using TntSequence = std::vector<uint8_t>;
+
+class ItcCfg
+{
+  public:
+    /** Reconstructs the ITC-CFG from an O-CFG. */
+    static ItcCfg build(const Cfg &cfg);
+
+    size_t numNodes() const { return _nodeAddrs.size(); }
+    size_t numEdges() const { return _targets.size(); }
+
+    /** Node index whose address is exactly `addr`, or -1. */
+    int findNode(uint64_t addr) const;
+
+    uint64_t nodeAddr(size_t node) const { return _nodeAddrs[node]; }
+
+    /** Target addresses of `node` (sorted). */
+    const uint64_t *targetsBegin(size_t node) const
+    {
+        return _targets.data() + _offsets[node];
+    }
+    const uint64_t *targetsEnd(size_t node) const
+    {
+        return _targets.data() + _offsets[node + 1];
+    }
+    size_t outDegree(size_t node) const
+    {
+        return _offsets[node + 1] - _offsets[node];
+    }
+
+    /**
+     * Edge index for (from-node address, to address), or -1 when the
+     * edge is not in the graph. Binary search on both levels, the
+     * §5.3 fast-path lookup.
+     */
+    int64_t findEdge(uint64_t from, uint64_t to) const;
+
+    // --- training annotations ---------------------------------------------
+    bool highCredit(int64_t edge) const
+    {
+        return _credits[static_cast<size_t>(edge)] != 0;
+    }
+    void setHighCredit(int64_t edge)
+    {
+        _credits[static_cast<size_t>(edge)] = 1;
+    }
+
+    /**
+     * Records a TNT sequence observed for `edge` during training.
+     * Sequences are deduplicated; past `max_tnt_variants` distinct
+     * sequences the edge is marked TNT-varied and matching is
+     * disabled (data-dependent conditional counts make the exact set
+     * unboundable).
+     */
+    void addTntSequence(int64_t edge, const TntSequence &seq);
+
+    /**
+     * True if `observed` is compatible with the edge's TNT training
+     * data: vacuously true when nothing was recorded or the edge is
+     * TNT-varied, else exact-set membership.
+     */
+    bool tntCompatible(int64_t edge, const TntSequence &observed) const;
+
+    /** True if any TNT info is recorded and active for the edge. */
+    bool hasTntInfo(int64_t edge) const;
+
+    /** Recorded sequences for an edge (empty when varied). */
+    const std::vector<TntSequence> &
+    tntSequences(int64_t edge) const
+    {
+        return _tntSeqs[static_cast<size_t>(edge)];
+    }
+
+    /** True if the edge saturated its TNT variant budget. */
+    bool
+    tntVaried(int64_t edge) const
+    {
+        return _tntVaried[static_cast<size_t>(edge)] != 0;
+    }
+
+    /** Marks an edge TNT-varied (profile deserialization). */
+    void
+    markTntVaried(int64_t edge)
+    {
+        _tntVaried[static_cast<size_t>(edge)] = 1;
+        _tntSeqs[static_cast<size_t>(edge)].clear();
+    }
+
+    /** Fraction of edges labeled high-credit. */
+    double highCreditRatio() const;
+
+    /** Count of high-credit edges. */
+    size_t highCreditCount() const;
+
+    /** Approximate resident size, for the Table 5 reproduction. */
+    size_t memoryBytes() const;
+
+    /** Distinct TNT sequences kept per edge before giving up. */
+    static constexpr size_t max_tnt_variants = 8;
+
+  private:
+    std::vector<uint64_t> _nodeAddrs;     ///< sorted
+    std::vector<uint32_t> _offsets;       ///< CSR, size numNodes()+1
+    std::vector<uint64_t> _targets;       ///< sorted per node
+    std::vector<uint8_t> _credits;        ///< per edge, 0 = low
+    std::vector<uint8_t> _tntVaried;      ///< per edge
+    std::vector<std::vector<TntSequence>> _tntSeqs;  ///< per edge
+};
+
+} // namespace flowguard::analysis
+
+#endif // FLOWGUARD_ANALYSIS_ITC_CFG_HH

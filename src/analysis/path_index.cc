@@ -1,0 +1,58 @@
+#include "analysis/path_index.hh"
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace flowguard::analysis {
+
+PathIndex::PathIndex(size_t length)
+    : _length(length)
+{
+    fg_assert(length >= 2, "paths need at least two TIP targets");
+}
+
+uint64_t
+PathIndex::hashPath(const uint64_t *targets) const
+{
+    uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (size_t i = 0; i < _length; ++i) {
+        state ^= targets[i];
+        state = splitmix64(state);
+    }
+    return state;
+}
+
+void
+PathIndex::observe(const std::vector<uint64_t> &targets)
+{
+    if (targets.size() < _length)
+        return;
+    for (size_t i = 0; i + _length <= targets.size(); ++i)
+        _paths.insert(hashPath(targets.data() + i));
+}
+
+bool
+PathIndex::containsPath(const uint64_t *targets) const
+{
+    return _paths.count(hashPath(targets)) != 0;
+}
+
+bool
+PathIndex::covers(const std::vector<uint64_t> &targets) const
+{
+    if (targets.size() < _length)
+        return true;
+    for (size_t i = 0; i + _length <= targets.size(); ++i)
+        if (!containsPath(targets.data() + i))
+            return false;
+    return true;
+}
+
+size_t
+PathIndex::memoryBytes() const
+{
+    return _paths.size() * (sizeof(uint64_t) + sizeof(void *)) +
+           sizeof(*this);
+}
+
+} // namespace flowguard::analysis

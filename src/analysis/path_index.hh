@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PathIndex — context-sensitive fast-path matching (the future-work
+ * extension sketched in §7.1.2: "make the fast path more
+ * context-sensitive by matching the high-credit paths, each of which
+ * consisting of multiple consecutive high-credit edges").
+ *
+ * During training, every run of `length` consecutive TIP targets is
+ * hashed into the index. At check time a window passes the path test
+ * only if each of its n-grams was observed — individually-trained
+ * edges chained in a novel order (mimicry) no longer slip through the
+ * fast path; they defer to the slow path instead. This strictly
+ * strengthens the fast path at the cost of a higher slow-path rate,
+ * exactly the trade-off the paper anticipates.
+ */
+
+#ifndef FLOWGUARD_ANALYSIS_PATH_INDEX_HH
+#define FLOWGUARD_ANALYSIS_PATH_INDEX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace flowguard::analysis {
+
+class PathIndex
+{
+  public:
+    /** `length` = TIP targets per matched path (n-gram size). */
+    explicit PathIndex(size_t length = 3);
+
+    size_t length() const { return _length; }
+    size_t size() const { return _paths.size(); }
+
+    /** Records every n-gram of a training TIP-target sequence. */
+    void observe(const std::vector<uint64_t> &targets);
+
+    /** True if every n-gram of `targets` was observed in training.
+     *  Sequences shorter than the path length pass vacuously. */
+    bool covers(const std::vector<uint64_t> &targets) const;
+
+    /** True if this single n-gram (exactly `length` targets,
+     *  oldest first) was observed. */
+    bool containsPath(const uint64_t *targets) const;
+
+    /** Approximate resident bytes. */
+    size_t memoryBytes() const;
+
+    /** Raw path hashes (profile serialization). */
+    const std::unordered_set<uint64_t> &hashes() const
+    {
+        return _paths;
+    }
+
+    /** Inserts a previously serialized hash. */
+    void insertHash(uint64_t hash) { _paths.insert(hash); }
+
+  private:
+    uint64_t hashPath(const uint64_t *targets) const;
+
+    size_t _length;
+    std::unordered_set<uint64_t> _paths;
+};
+
+} // namespace flowguard::analysis
+
+#endif // FLOWGUARD_ANALYSIS_PATH_INDEX_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TypeArmor-style binary-level use-def and liveness analysis (§4.1,
+ * after van der Veen et al. [7]).
+ *
+ * Forward edges: an indirect call site is allowed to target a function
+ * only if the callee's argument consumption does not exceed what the
+ * call site prepared. Both sides are derived purely from the machine
+ * code, conservatively (uncertainty widens the target set, never
+ * narrows it, preserving the no-false-positives property):
+ *
+ *  - consumed arity of a callee: argument registers possibly read
+ *    before being written, via a must-define forward dataflow over the
+ *    function's intra-procedural flow;
+ *  - prepared arity of a call site: argument registers written since
+ *    the last control-flow barrier; scanning that hits a barrier marks
+ *    the remaining registers unknown-and-therefore-prepared, and
+ *    scanning that reaches the function entry treats the enclosing
+ *    function's own consumed arguments as forwarded.
+ *
+ * Also computes the address-taken function set (immediates and
+ * relocated data words that equal a function entry), which bounds the
+ * conservative indirect-call target universe.
+ */
+
+#ifndef FLOWGUARD_ANALYSIS_TYPEARMOR_HH
+#define FLOWGUARD_ANALYSIS_TYPEARMOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace flowguard::analysis {
+
+struct TypeArmorInfo
+{
+    /** Per Program::functions() index: argument count consumed. */
+    std::vector<uint8_t> consumedCount;
+
+    /** Per indirect-call-site address: argument count prepared. */
+    std::unordered_map<uint64_t, uint8_t> preparedCount;
+
+    /** Per function index: address appears as data/immediate. */
+    std::vector<bool> addressTaken;
+
+    /** Sorted entry addresses of address-taken functions. */
+    std::vector<uint64_t> addressTakenEntries;
+
+    /** True if the site may call a function with this consumption. */
+    static bool
+    callAllowed(uint8_t prepared, uint8_t consumed)
+    {
+        return consumed <= prepared;
+    }
+};
+
+/** Runs the whole-program analysis. */
+TypeArmorInfo analyzeTypeArmor(const isa::Program &program);
+
+} // namespace flowguard::analysis
+
+#endif // FLOWGUARD_ANALYSIS_TYPEARMOR_HH

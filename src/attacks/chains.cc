@@ -1,0 +1,309 @@
+#include "attacks/chains.hh"
+
+#include "cpu/basic_kernel.hh"
+#include "isa/syscalls.hh"
+#include "support/logging.hh"
+#include "workloads/apps.hh"
+
+namespace flowguard::attacks {
+
+using isa::Syscall;
+
+namespace {
+
+/**
+ * Builds the malicious request around a chain of stack words:
+ * words 0-2 fill the local buffer, word 3 overwrites the return
+ * address, the rest feed the chain. A zero terminator stops the
+ * vulnerable strcpy after the last word.
+ */
+std::vector<uint8_t>
+requestFromChain(const std::vector<uint64_t> &chain)
+{
+    std::vector<uint64_t> payload;
+    for (size_t i = 0; i < workloads::vuln_buffer_words; ++i)
+        payload.push_back(0x4141414141414141ULL);   // filler
+    payload.insert(payload.end(), chain.begin(), chain.end());
+    payload.push_back(0);                           // terminator
+    fg_assert(payload.size() * 8 + 8 <= workloads::request_size,
+              "chain does not fit in one request");
+    for (size_t i = 0; i + 1 < payload.size(); ++i)
+        fg_assert(payload[i] != 0,
+                  "zero word would truncate the overflow early");
+    // Handler 0 (the vulnerable one), parser state 0.
+    return workloads::makeRequest(0, 0, payload);
+}
+
+} // namespace
+
+VulnLayout
+VulnLayout::forServer(const isa::Program &program)
+{
+    VulnLayout layout;
+    layout.stackTop = program.stackTop();
+    // main: sp -= 512 for the request buffer, then one direct call
+    // (handle_request) and one indirect call (the handler) each push
+    // 8 bytes, then the handler reserves the local buffer.
+    layout.requestBufAddr = layout.stackTop - 512;
+    layout.overflowDstAddr = layout.stackTop - 512 - 16 -
+        8 * workloads::vuln_buffer_words;
+    return layout;
+}
+
+AttackInfo
+buildRopWriteAttack(const isa::Program &program,
+                    const GadgetCatalog &catalog)
+{
+    const VulnLayout layout = VulnLayout::forServer(program);
+    const PopGadget *pop = catalog.findPop({0, 1, 2});
+    const uint64_t write_gadget =
+        catalog.findSyscall(static_cast<int64_t>(Syscall::Write));
+    const uint64_t exit_gadget =
+        catalog.findSyscall(static_cast<int64_t>(Syscall::Exit));
+    fg_assert(pop && write_gadget && exit_gadget,
+              "gadget catalog lacks ROP building blocks");
+
+    // Chain: pop registers, invoke write(fd, buf, len), exit.
+    std::vector<uint64_t> chain;
+    chain.push_back(pop->addr);
+    for (uint8_t reg : pop->regs) {
+        switch (reg) {
+          case 0: chain.push_back(1); break;                 // fd
+          case 1: chain.push_back(layout.overflowDstAddr); break;
+          case 2: chain.push_back(16); break;                // bytes
+          default: chain.push_back(0x42); break;
+        }
+    }
+    chain.push_back(write_gadget);
+    chain.push_back(exit_gadget);
+
+    AttackInfo attack;
+    attack.description =
+        "ROP: pop fd/buf/len, write(), exit() via gadget chain";
+    attack.request = requestFromChain(chain);
+    attack.expectedEndpoint = static_cast<int64_t>(Syscall::Write);
+    return attack;
+}
+
+AttackInfo
+buildSropAttack(const isa::Program &program,
+                const GadgetCatalog &catalog)
+{
+    const VulnLayout layout = VulnLayout::forServer(program);
+    const uint64_t sigreturn_gadget =
+        catalog.findSyscall(static_cast<int64_t>(Syscall::Sigreturn));
+    const uint64_t write_entry = program.funcAddr("libc", "write_buf");
+    const uint64_t exit_gadget =
+        catalog.findSyscall(static_cast<int64_t>(Syscall::Exit));
+    fg_assert(sigreturn_gadget && exit_gadget,
+              "gadget catalog lacks SROP building blocks");
+
+    // Word indices within the payload (copied to overflowDstAddr):
+    //   3: sigreturn trampoline (overwrites the return address)
+    //   4: sigframe magic
+    //   5..20: r0..r15
+    //   21: pc
+    //   22: continuation word the restored sp points at (exit gadget)
+    std::vector<uint64_t> chain;
+    chain.push_back(sigreturn_gadget);              // word 3
+    chain.push_back(cpu::BasicKernel::sigframe_magic);
+    std::vector<uint64_t> regs(16, 0x4242424242424242ULL);
+    regs[0] = 1;                                    // fd
+    regs[1] = layout.overflowDstAddr;               // buf
+    regs[2] = 16;                                   // bytes
+    regs[isa::sp_reg] = layout.overflowDstAddr + 8 * 22;
+    for (uint64_t value : regs)
+        chain.push_back(value);
+    chain.push_back(write_entry);                   // pc
+    chain.push_back(exit_gadget);                   // word 22
+
+    AttackInfo attack;
+    attack.description =
+        "SROP: forged sigframe via the sigreturn trampoline";
+    attack.request = requestFromChain(chain);
+    attack.expectedEndpoint =
+        static_cast<int64_t>(Syscall::Sigreturn);
+    return attack;
+}
+
+AttackInfo
+buildRet2LibAttack(const isa::Program &program,
+                   const GadgetCatalog &catalog)
+{
+    (void)catalog;
+    const uint64_t write_entry = program.funcAddr("libc", "write_buf");
+    const uint64_t exit_gadget = program.funcAddr("libc", "sys_exit");
+
+    // Return straight into libc: whatever r0..r2 hold at the time of
+    // the hijacked return becomes the write() arguments.
+    std::vector<uint64_t> chain{write_entry, exit_gadget};
+
+    AttackInfo attack;
+    attack.description = "return-to-lib: ret directly into write_buf";
+    attack.request = requestFromChain(chain);
+    attack.expectedEndpoint = static_cast<int64_t>(Syscall::Write);
+    return attack;
+}
+
+namespace {
+
+/** Address of the instruction after main's `call handle_request`. */
+uint64_t
+findResponseSite(const isa::Program &program)
+{
+    const uint64_t handle_request =
+        program.funcAddr(program.modules()[0].name, "handle_request");
+    const isa::LoadedFunction *main_fn =
+        program.functionAt(program.entry());
+    fg_assert(main_fn, "no main function");
+    for (uint32_t i = main_fn->firstInst;
+         i < main_fn->firstInst + main_fn->numInsts; ++i) {
+        const isa::Instruction &inst = program.inst(i);
+        if (inst.op == isa::Opcode::Call &&
+            inst.target == handle_request)
+            return program.instAddr(i) + isa::instSize(inst.op);
+    }
+    fg_fatal("no call site of handle_request in main");
+}
+
+} // namespace
+
+AttackInfo
+buildStealthRepairAttack(const isa::Program &program,
+                         const GadgetCatalog &catalog)
+{
+    const PopGadget *pop = catalog.findPop({0, 1, 2});
+    fg_assert(pop, "gadget catalog lacks a pop gadget");
+
+    std::vector<uint64_t> chain;
+    chain.push_back(pop->addr);
+    for (size_t i = 0; i < pop->regs.size(); ++i)
+        chain.push_back(0x4242 + i);            // attacker registers
+    chain.push_back(findResponseSite(program)); // repair: resume main
+
+    AttackInfo attack;
+    attack.description =
+        "stealth hijack-and-repair: pop gadget, then resume the "
+        "response path";
+    attack.request = requestFromChain(chain);
+    attack.expectedEndpoint = static_cast<int64_t>(Syscall::Write);
+    return attack;
+}
+
+AttackInfo
+buildMinimalHijackAttack(const isa::Program &program)
+{
+    // Word 3 replaces the slot that held the return into pstate; the
+    // response path expects exactly this stack depth, so execution
+    // re-joins the benign request loop with a balanced stack.
+    std::vector<uint64_t> chain{findResponseSite(program)};
+    AttackInfo attack;
+    attack.description =
+        "minimal hijack: one violating return into the response "
+        "path, perfect stack repair";
+    attack.request = requestFromChain(chain);
+    attack.expectedEndpoint = static_cast<int64_t>(Syscall::Write);
+    return attack;
+}
+
+AttackInfo
+buildCoopAttack(const isa::Program &program)
+{
+    const std::string &exe = program.modules()[0].name;
+    const uint64_t stats = program.dataAddr(exe, "stats_array");
+    const uint64_t table = program.dataAddr(exe, "handler_table");
+    const uint64_t target = program.funcAddr(exe, "maintenance_mode");
+    fg_assert(table > stats, "debug write cannot reach the table");
+
+    // Request 1: the debug command overwrites handler_table[2].
+    const uint64_t slot_offset = table - stats + 2 * 8;
+    auto corrupt = workloads::makeRequest(
+        1, 0,
+        {static_cast<uint64_t>(workloads::vuln_debug_magic),
+         slot_offset, target, 0});
+
+    // Request 2: ordinary traffic for handler 2 dispatches into the
+    // corrupted slot.
+    auto trigger = workloads::makeRequest(2, 0, {7, 0});
+
+    AttackInfo attack;
+    attack.description =
+        "COOP-style: data-only dispatch-table corruption, then "
+        "invocation of disabled functionality via a legal-looking "
+        "indirect call";
+    attack.request = corrupt;
+    attack.request.insert(attack.request.end(), trigger.begin(),
+                          trigger.end());
+    attack.expectedEndpoint = static_cast<int64_t>(Syscall::Write);
+    return attack;
+}
+
+AttackInfo
+buildGotOverwriteAttack(const isa::Program &program)
+{
+    const std::string &exe = program.modules()[0].name;
+    const uint64_t stats = program.dataAddr(exe, "stats_array");
+    const uint64_t got = program.dataAddr(exe, "got.write_buf");
+    const uint64_t target = program.funcAddr(exe, "maintenance_mode");
+    fg_assert(got > stats, "debug write cannot reach the GOT");
+
+    auto corrupt = workloads::makeRequest(
+        1, 0,
+        {static_cast<uint64_t>(workloads::vuln_debug_magic),
+         got - stats, target, 0});
+    // Any follow-up request routes its response through the
+    // corrupted PLT entry.
+    auto trigger = workloads::makeRequest(3, 0, {5, 0});
+
+    AttackInfo attack;
+    attack.description =
+        "GOT overwrite: redirect write_buf@plt to disabled "
+        "functionality; suppresses the write endpoint itself";
+    attack.request = corrupt;
+    attack.request.insert(attack.request.end(), trigger.begin(),
+                          trigger.end());
+    // No syscall endpoint will fire after the corruption; only the
+    // PMI fallback can see it.
+    attack.expectedEndpoint = -1;
+    return attack;
+}
+
+AttackInfo
+buildHistoryFlushAttack(const isa::Program &program,
+                        const GadgetCatalog &catalog,
+                        size_t flush_steps)
+{
+    fg_assert(!catalog.flushGadgets.empty(),
+              "no call-preceded flush gadgets found");
+
+    // Every hop lands on a *call-preceded* address (a legitimate
+    // return site whose code quickly returns again), so a kBouncer-
+    // style "returns must be call-preceded" heuristic sees nothing
+    // wrong at any point. The chain terminates by returning into the
+    // server's own response sequence — the instructions right after
+    // `call handle_request` in main — which legitimately performs the
+    // write() endpoint with attacker-influenced buffer contents.
+    //
+    // For FlowGuard each hop is still an ITC-CFG violation: a return
+    // site of function F is only a valid return target for F's own
+    // returns, and these returns come from unrelated frames.
+    std::vector<uint64_t> chain;
+    for (size_t i = 0; i < flush_steps; ++i) {
+        const FlushGadget &flush =
+            catalog.flushGadgets[i % catalog.flushGadgets.size()];
+        chain.push_back(flush.returnSite);
+    }
+
+    // Terminate by returning into main's response sequence.
+    chain.push_back(findResponseSite(program));
+
+    AttackInfo attack;
+    attack.description =
+        "history flushing: " + std::to_string(flush_steps) +
+        " call-preceded hops, then return into the response path";
+    attack.request = requestFromChain(chain);
+    attack.expectedEndpoint = static_cast<int64_t>(Syscall::Write);
+    return attack;
+}
+
+} // namespace flowguard::attacks

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Exploit construction against the vulnerable synthetic server
+ * (§7.1.2 "real attacks prevention").
+ *
+ * All attacks ride the implanted stack overflow in handler 0: payload
+ * word 3 overwrites the handler's return address, subsequent words
+ * are consumed by the chain. The builders only use knowledge a real
+ * adversary has under the §3.3 threat model: the binaries (gadget
+ * catalog) and the deterministic stack layout.
+ */
+
+#ifndef FLOWGUARD_ATTACKS_CHAINS_HH
+#define FLOWGUARD_ATTACKS_CHAINS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/gadgets.hh"
+#include "isa/program.hh"
+
+namespace flowguard::attacks {
+
+/** Deterministic addresses of the vulnerable server's stack frame. */
+struct VulnLayout
+{
+    uint64_t stackTop = 0;
+    uint64_t requestBufAddr = 0;    ///< main's request buffer
+    uint64_t overflowDstAddr = 0;   ///< where payload word 0 lands
+
+    static VulnLayout forServer(const isa::Program &program);
+};
+
+/** One ready-to-send malicious request. */
+struct AttackInfo
+{
+    std::string description;
+    std::vector<uint8_t> request;
+    /** Syscall number at which detection is expected to fire. */
+    int64_t expectedEndpoint = 0;
+};
+
+/**
+ * Traditional ROP: pop-gadget loads (fd=1, buf, len), then the
+ * "syscall write; ret" gadget — arbitrary data written to a file
+ * descriptor — then a clean exit gadget.
+ */
+AttackInfo buildRopWriteAttack(const isa::Program &program,
+                               const GadgetCatalog &catalog);
+
+/**
+ * SROP (Bosman & Bos [36]): one gadget — the sigreturn trampoline —
+ * plus a forged sigframe restoring a full register context with
+ * pc = write wrapper.
+ */
+AttackInfo buildSropAttack(const isa::Program &program,
+                           const GadgetCatalog &catalog);
+
+/** Return-to-lib: overwrite the return address directly with the
+ *  libc write wrapper entry (no gadget chain at all). */
+AttackInfo buildRet2LibAttack(const isa::Program &program,
+                              const GadgetCatalog &catalog);
+
+/**
+ * History-flushing (Carlini & Wagner [35]): `flush_steps`
+ * call-preceded gadgets — each a perfectly matched call/return pair
+ * that looks innocuous to LBR heuristics — executed after the initial
+ * hijack, followed by the ROP write chain. Defeats a 16-deep LBR
+ * checker; must not defeat a >= 30-TIP FlowGuard window.
+ */
+AttackInfo buildHistoryFlushAttack(const isa::Program &program,
+                                   const GadgetCatalog &catalog,
+                                   size_t flush_steps);
+
+/**
+ * Stealth hijack-and-repair: one pop gadget loads attacker registers
+ * (the malicious work), then control returns into the server's own
+ * response path, so only legitimate TIPs precede the write endpoint.
+ * Used for the pkt_count sensitivity study (§7.1.1): a window of 1
+ * TIP sees only the legitimate PLT hop and misses the attack; wider
+ * windows reach back to the violating gadget entries.
+ */
+AttackInfo buildStealthRepairAttack(const isa::Program &program,
+                                    const GadgetCatalog &catalog);
+
+/**
+ * Minimal hijack with perfect stack repair: the overwritten return
+ * address points straight at main's response path, whose stack depth
+ * matches the smashed slot exactly — so the server keeps serving
+ * indefinitely after a single CFG-violating transfer. The purest
+ * endpoint-pruning specimen for the PMI experiments.
+ */
+AttackInfo buildMinimalHijackAttack(const isa::Program &program);
+
+/**
+ * COOP/control-jujutsu-style forward-edge attack (§6): the
+ * magic-gated debug write primitive in handler 1 corrupts a dispatch
+ * table slot to point at `maintenance_mode` — a never-address-taken,
+ * disabled administrative function — and a follow-up request invokes
+ * it through the normal indirect dispatch. No return address is ever
+ * touched and the landing site is a function entry, so a CET-style
+ * shadow stack + ENDBRANCH policy passes; FlowGuard flags the TIP
+ * because the target is not an IT-BB of the conservative ITC-CFG.
+ */
+AttackInfo buildCoopAttack(const isa::Program &program);
+
+/**
+ * GOT overwrite: the same data-only write primitive redirects the
+ * executable's GOT slot for write_buf at `maintenance_mode`, so every
+ * subsequent `call write_buf@plt` dispatches into the disabled
+ * function instead — and, crucially, the write() syscall that would
+ * have been FlowGuard's endpoint never happens again. The attack
+ * thereby prunes its own endpoint: the default configuration misses
+ * it, the PMI fallback (§7.1.2) catches the PLT jump's anomalous TIP.
+ */
+AttackInfo buildGotOverwriteAttack(const isa::Program &program);
+
+} // namespace flowguard::attacks
+
+#endif // FLOWGUARD_ATTACKS_CHAINS_HH

@@ -1,0 +1,117 @@
+#include "attacks/gadgets.hh"
+
+#include <algorithm>
+
+namespace flowguard::attacks {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+
+namespace {
+
+/** True if `index` starts "load rX,[sp]; add sp,8" (one pop step). */
+bool
+isPopStep(const Program &program, size_t index, uint8_t &reg)
+{
+    if (index + 1 >= program.numInsts())
+        return false;
+    const Instruction &load = program.inst(index);
+    const Instruction &add = program.inst(index + 1);
+    if (load.op != Opcode::Load || load.rs != isa::sp_reg ||
+        load.imm != 0)
+        return false;
+    if (add.op != Opcode::AluImm || add.aluOp != isa::AluOp::Add ||
+        add.rd != isa::sp_reg || add.imm != 8)
+        return false;
+    reg = load.rd;
+    return true;
+}
+
+} // namespace
+
+const PopGadget *
+GadgetCatalog::findPop(const std::vector<uint8_t> &regs) const
+{
+    const PopGadget *best = nullptr;
+    for (const PopGadget &gadget : popGadgets) {
+        bool covers = true;
+        for (uint8_t reg : regs) {
+            if (std::find(gadget.regs.begin(), gadget.regs.end(),
+                          reg) == gadget.regs.end()) {
+                covers = false;
+                break;
+            }
+        }
+        if (covers &&
+            (!best || gadget.regs.size() < best->regs.size()))
+            best = &gadget;
+    }
+    return best;
+}
+
+uint64_t
+GadgetCatalog::findSyscall(int64_t number) const
+{
+    auto it = syscallGadgets.find(number);
+    return it == syscallGadgets.end() ? 0 : it->second;
+}
+
+GadgetCatalog
+scanGadgets(const Program &program)
+{
+    GadgetCatalog catalog;
+
+    for (size_t i = 0; i < program.numInsts(); ++i) {
+        const Instruction &inst = program.inst(i);
+        const uint64_t addr = program.instAddr(i);
+
+        if (inst.op == Opcode::Ret)
+            catalog.retGadgets.push_back(addr);
+
+        // syscall N; ret
+        if (inst.op == Opcode::Syscall &&
+            i + 1 < program.numInsts() &&
+            program.inst(i + 1).op == Opcode::Ret) {
+            catalog.syscallGadgets.emplace(inst.imm, addr);
+        }
+
+        // pop chain: consecutive pop steps then ret
+        {
+            std::vector<uint8_t> regs;
+            size_t k = i;
+            uint8_t reg = 0;
+            while (isPopStep(program, k, reg)) {
+                regs.push_back(reg);
+                k += 2;
+            }
+            if (!regs.empty() && k < program.numInsts() &&
+                program.inst(k).op == Opcode::Ret) {
+                catalog.popGadgets.push_back({addr, std::move(regs)});
+            }
+        }
+
+        // call-preceded flush gadget: a direct call whose return site
+        // reaches a ret within a couple of instructions.
+        if (inst.op == Opcode::Call && i + 1 < program.numInsts()) {
+            const uint64_t return_site =
+                addr + isa::instSize(inst.op);
+            bool quick_ret = false;
+            for (size_t k = i + 1;
+                 k < std::min(i + 4, program.numInsts()); ++k) {
+                const Opcode op = program.inst(k).op;
+                if (op == Opcode::Ret) {
+                    quick_ret = true;
+                    break;
+                }
+                if (program.inst(k).isCofi() || op == Opcode::Halt)
+                    break;
+            }
+            if (quick_ret)
+                catalog.flushGadgets.push_back({addr, return_site});
+        }
+    }
+    return catalog;
+}
+
+} // namespace flowguard::attacks

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Gadget discovery — the attacker's static analysis.
+ *
+ * Scans the program (which the adversary fully knows, per §3.3) for
+ * the classic code-reuse building blocks:
+ *
+ *  - pop chains: "load rX, [sp]; add sp, 8; ... ; ret" runs (register
+ *    restores / longjmp epilogues) that let a chain load registers
+ *    from attacker-controlled stack words;
+ *  - syscall gadgets: "syscall N; ret" bodies of libc wrappers;
+ *  - ret-only gadgets;
+ *  - call-preceded gadgets: a direct call instruction whose callee
+ *    returns quickly — executing from the call produces a perfectly
+ *    matched call/return pair, the history-flushing primitive of
+ *    Carlini & Wagner [35].
+ */
+
+#ifndef FLOWGUARD_ATTACKS_GADGETS_HH
+#define FLOWGUARD_ATTACKS_GADGETS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace flowguard::attacks {
+
+/** A pop-chain gadget: pops `regs` in order, then returns. */
+struct PopGadget
+{
+    uint64_t addr = 0;
+    std::vector<uint8_t> regs;      ///< popped registers, in order
+};
+
+/** A call-preceded flush gadget (see file comment). */
+struct FlushGadget
+{
+    uint64_t callAddr = 0;          ///< enter here
+    uint64_t returnSite = 0;        ///< the legitimate call-preceded site
+};
+
+struct GadgetCatalog
+{
+    std::vector<PopGadget> popGadgets;
+    std::map<int64_t, uint64_t> syscallGadgets;  ///< number -> addr
+    std::vector<uint64_t> retGadgets;
+    std::vector<FlushGadget> flushGadgets;
+
+    /** Smallest pop gadget covering all of `regs` (in any pop order),
+     *  or nullptr. */
+    const PopGadget *findPop(const std::vector<uint8_t> &regs) const;
+
+    /** Address of a "syscall N; ret" gadget, or 0. */
+    uint64_t findSyscall(int64_t number) const;
+};
+
+/** Scans the whole program. */
+GadgetCatalog scanGadgets(const isa::Program &program);
+
+} // namespace flowguard::attacks
+
+#endif // FLOWGUARD_ATTACKS_GADGETS_HH

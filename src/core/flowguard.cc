@@ -1,0 +1,195 @@
+#include "core/flowguard.hh"
+
+#include <chrono>
+
+#include "cpu/basic_kernel.hh"
+#include "fuzz/trainer.hh"
+#include "support/logging.hh"
+#include "trace/ipt.hh"
+
+namespace flowguard {
+
+FlowGuard::FlowGuard(const isa::Program &program, FlowGuardConfig config)
+    : _program(program), _config(std::move(config))
+{}
+
+FlowGuard::~FlowGuard() = default;
+
+void
+FlowGuard::analyze()
+{
+    if (analyzed())
+        return;
+    const auto start = std::chrono::steady_clock::now();
+    _typearmor = std::make_unique<analysis::TypeArmorInfo>(
+        analysis::analyzeTypeArmor(_program));
+    _ocfg = std::make_unique<analysis::Cfg>(analysis::buildCfg(
+        _program, _typearmor.get(), _config.cfgOptions));
+    _itc = std::make_unique<analysis::ItcCfg>(
+        analysis::ItcCfg::build(*_ocfg));
+    if (_config.pathSensitive)
+        _paths = std::make_unique<analysis::PathIndex>(
+            _config.pathLength);
+    const auto end = std::chrono::steady_clock::now();
+    _analyzeSeconds =
+        std::chrono::duration<double>(end - start).count();
+}
+
+fuzz::RunTarget
+FlowGuard::defaultRunner() const
+{
+    const isa::Program *program = &_program;
+    const uint64_t max_insts = _config.fuzzRunMaxInsts;
+    return [program, max_insts](const fuzz::Input &input,
+                                cpu::TraceSink *sink) {
+        cpu::Cpu cpu(*program);
+        cpu::BasicKernel kernel;
+        kernel.setInput(input);
+        cpu.setSyscallHandler(&kernel);
+        if (sink)
+            cpu.addTraceSink(sink);
+        cpu.run(max_insts);   // crashes/limits are fine while fuzzing
+    };
+}
+
+void
+FlowGuard::train(uint64_t budget, std::vector<fuzz::Input> seeds)
+{
+    analyze();
+    if (!_fuzzer)
+        _fuzzer = std::make_unique<fuzz::Fuzzer>(defaultRunner(),
+                                                 _config.fuzzSeed);
+    for (auto &seed : seeds)
+        _fuzzer->addSeed(std::move(seed));
+    _fuzzer->run(budget);
+    trainWithCorpus(_fuzzer->corpus());
+}
+
+void
+FlowGuard::trainWithCorpus(const std::vector<fuzz::Input> &corpus)
+{
+    analyze();
+    fuzz::trainItcCfg(*_itc, defaultRunner(), corpus, _paths.get());
+}
+
+const analysis::Cfg &
+FlowGuard::ocfg() const
+{
+    fg_assert(_ocfg, "call analyze() first");
+    return *_ocfg;
+}
+
+analysis::ItcCfg &
+FlowGuard::itc()
+{
+    fg_assert(_itc, "call analyze() first");
+    return *_itc;
+}
+
+const analysis::ItcCfg &
+FlowGuard::itc() const
+{
+    fg_assert(_itc, "call analyze() first");
+    return *_itc;
+}
+
+const analysis::TypeArmorInfo &
+FlowGuard::typearmor() const
+{
+    fg_assert(_typearmor, "call analyze() first");
+    return *_typearmor;
+}
+
+analysis::AiaReport
+FlowGuard::aia() const
+{
+    return analysis::computeAia(ocfg(), itc());
+}
+
+analysis::CfgStats
+FlowGuard::cfgStats() const
+{
+    return analysis::computeCfgStats(ocfg(), itc());
+}
+
+FlowGuard::RunOutcome
+FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
+{
+    analyze();
+    RunOutcome outcome;
+
+    cpu::Cpu cpu(_program);
+
+    trace::Topa topa(_config.topaRegions);
+    trace::IptConfig ipt_config;
+    ipt_config.cr3Filter = true;
+    ipt_config.cr3Match = _program.cr3();
+    ipt_config.psbPeriodBytes = _config.psbPeriodBytes;
+    trace::IptEncoder encoder(ipt_config, topa, &outcome.cycles);
+    cpu.addTraceSink(&encoder);
+
+    runtime::MonitorConfig monitor_config;
+    monitor_config.fastPath = _config.fastPath;
+    monitor_config.cacheSlowPathVerdicts =
+        _config.cacheSlowPathVerdicts;
+    runtime::Monitor monitor(_program, *_itc, *_ocfg, *_typearmor,
+                             monitor_config, &outcome.cycles,
+                             _paths.get());
+
+    runtime::FlowGuardKernel::Config kernel_config;
+    kernel_config.endpoints = _config.endpoints;
+    kernel_config.protectedCr3 = _program.cr3();
+    runtime::FlowGuardKernel kernel(kernel_config);
+    kernel.attachMonitor(monitor, encoder, topa, &outcome.cycles);
+    kernel.setInput(input);
+    cpu.setSyscallHandler(&kernel);
+
+    std::unique_ptr<runtime::PmiGuard> pmi;
+    if (_config.pmiChecking) {
+        pmi = std::make_unique<runtime::PmiGuard>(
+            monitor, encoder, topa, &outcome.cycles);
+        kernel.attachPmi(*pmi);
+    }
+
+    outcome.stop = cpu.run(max_insts);
+    outcome.exitCode = cpu.exitCode();
+    outcome.attackDetected = kernel.kills() > 0;
+    outcome.violations = kernel.violations();
+    if (pmi && pmi->violationPending()) {
+        // The process stopped before the kernel could deliver the
+        // PMI-triggered kill; still a positive detection.
+        outcome.attackDetected = true;
+        runtime::ViolationReport report;
+        report.reason = "PMI window: ITC-CFG violation (post-mortem)";
+        outcome.violations.push_back(std::move(report));
+    }
+    outcome.monitor = monitor.stats();
+    outcome.instructions = cpu.instCount();
+    outcome.syscalls = kernel.totalSyscalls();
+    outcome.output = kernel.output();
+    outcome.trace = encoder.stats();
+    outcome.cycles.app = static_cast<double>(cpu.instCount()) *
+                         cpu::cost::app_cpi;
+    return outcome;
+}
+
+FlowGuard::RunOutcome
+FlowGuard::runUnprotected(const std::vector<uint8_t> &input,
+                          uint64_t max_insts) const
+{
+    RunOutcome outcome;
+    cpu::Cpu cpu(_program);
+    cpu::BasicKernel kernel;
+    kernel.setInput(input);
+    cpu.setSyscallHandler(&kernel);
+    outcome.stop = cpu.run(max_insts);
+    outcome.exitCode = cpu.exitCode();
+    outcome.instructions = cpu.instCount();
+    outcome.syscalls = kernel.totalSyscalls();
+    outcome.output = kernel.output();
+    outcome.cycles.app = static_cast<double>(cpu.instCount()) *
+                         cpu::cost::app_cpi;
+    return outcome;
+}
+
+} // namespace flowguard

@@ -1,0 +1,180 @@
+#include "core/profile_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace flowguard {
+
+namespace {
+
+constexpr uint32_t profile_magic = 0x46475046;   // "FGPF"
+constexpr uint32_t profile_version = 2;
+
+void
+write64(std::ostream &out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.put(static_cast<char>(value >> (8 * i)));
+}
+
+uint64_t
+read64(std::istream &in)
+{
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        const int byte = in.get();
+        if (byte < 0)
+            fg_fatal("truncated FlowGuard profile");
+        value |= static_cast<uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+/** Mixes a value into a running hash. */
+void
+mix(uint64_t &state, uint64_t value)
+{
+    state ^= value;
+    state = splitmix64(state);
+}
+
+} // namespace
+
+uint64_t
+programFingerprint(const isa::Program &program)
+{
+    uint64_t state = 0xF10460A4DF10460AULL;
+    mix(state, program.numInsts());
+    for (size_t i = 0; i < program.numInsts(); ++i) {
+        const isa::Instruction &inst = program.inst(i);
+        mix(state, program.instAddr(i));
+        mix(state, static_cast<uint64_t>(inst.op));
+        mix(state,
+            (static_cast<uint64_t>(inst.rd) << 32) | inst.rs);
+        mix(state, static_cast<uint64_t>(inst.imm));
+        mix(state, inst.target);
+    }
+    return state;
+}
+
+void
+saveProfile(const FlowGuard &guard, std::ostream &out)
+{
+    fg_assert(guard.analyzed(), "analyze() before saving a profile");
+    const analysis::ItcCfg &itc = guard.itc();
+
+    write64(out, profile_magic);
+    write64(out, profile_version);
+    write64(out, programFingerprint(guard.program()));
+    write64(out, itc.numNodes());
+    write64(out, itc.numEdges());
+
+    // Credits as a packed bitset.
+    for (size_t e = 0; e < itc.numEdges(); e += 64) {
+        uint64_t word = 0;
+        for (size_t b = 0; b < 64 && e + b < itc.numEdges(); ++b) {
+            if (itc.highCredit(static_cast<int64_t>(e + b)))
+                word |= 1ULL << b;
+        }
+        write64(out, word);
+    }
+
+    // TNT annotations: per edge, varied flag + sequence list.
+    for (size_t e = 0; e < itc.numEdges(); ++e) {
+        const int64_t edge = static_cast<int64_t>(e);
+        write64(out, itc.tntVaried(edge) ? 1 : 0);
+        const auto &seqs = itc.tntSequences(edge);
+        write64(out, seqs.size());
+        for (const auto &seq : seqs) {
+            write64(out, seq.size());
+            for (uint8_t bit : seq)
+                out.put(static_cast<char>(bit));
+        }
+    }
+
+    // Path index.
+    const analysis::PathIndex *paths = guard.paths();
+    write64(out, paths ? paths->length() : 0);
+    write64(out, paths ? paths->hashes().size() : 0);
+    if (paths)
+        for (uint64_t hash : paths->hashes())
+            write64(out, hash);
+}
+
+void
+saveProfile(const FlowGuard &guard, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fg_fatal("cannot write profile to ", path);
+    saveProfile(guard, out);
+}
+
+void
+loadProfile(FlowGuard &guard, std::istream &in)
+{
+    guard.analyze();
+    analysis::ItcCfg &itc = guard.itc();
+
+    if (read64(in) != profile_magic)
+        fg_fatal("not a FlowGuard profile");
+    if (read64(in) != profile_version)
+        fg_fatal("unsupported FlowGuard profile version");
+    if (read64(in) != programFingerprint(guard.program()))
+        fg_fatal("profile belongs to a different program");
+    if (read64(in) != itc.numNodes() ||
+        read64(in) != itc.numEdges())
+        fg_fatal("profile ITC-CFG shape mismatch");
+
+    for (size_t e = 0; e < itc.numEdges(); e += 64) {
+        const uint64_t word = read64(in);
+        for (size_t b = 0; b < 64 && e + b < itc.numEdges(); ++b) {
+            if ((word >> b) & 1)
+                itc.setHighCredit(static_cast<int64_t>(e + b));
+        }
+    }
+
+    for (size_t e = 0; e < itc.numEdges(); ++e) {
+        const int64_t edge = static_cast<int64_t>(e);
+        const bool varied = read64(in) != 0;
+        const uint64_t num_seqs = read64(in);
+        for (uint64_t s = 0; s < num_seqs; ++s) {
+            const uint64_t len = read64(in);
+            analysis::TntSequence seq;
+            seq.reserve(len);
+            for (uint64_t k = 0; k < len; ++k) {
+                const int byte = in.get();
+                if (byte < 0)
+                    fg_fatal("truncated FlowGuard profile");
+                seq.push_back(static_cast<uint8_t>(byte));
+            }
+            itc.addTntSequence(edge, seq);
+        }
+        if (varied)
+            itc.markTntVaried(edge);
+    }
+
+    const uint64_t path_length = read64(in);
+    const uint64_t path_count = read64(in);
+    analysis::PathIndex *paths = guard.mutablePaths();
+    for (uint64_t i = 0; i < path_count; ++i) {
+        const uint64_t hash = read64(in);
+        if (paths && paths->length() == path_length)
+            paths->insertHash(hash);
+    }
+}
+
+void
+loadProfile(FlowGuard &guard, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fg_fatal("cannot read profile from ", path);
+    loadProfile(guard, in);
+}
+
+} // namespace flowguard

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Profile serialization.
+ *
+ * §3.3: "before the distribution of the protected software, the
+ * static CFG generation and dynamic training are securely conducted"
+ * — i.e., the trained artifact ships with the program and the
+ * deployment machine only loads it. A profile stores the training
+ * annotations (edge credits, TNT sequences, path hashes) keyed by a
+ * fingerprint of the program and of the deterministically
+ * reconstructed ITC-CFG; loading re-runs the cheap static pipeline
+ * and replays the annotations, refusing mismatched binaries.
+ */
+
+#ifndef FLOWGUARD_CORE_PROFILE_IO_HH
+#define FLOWGUARD_CORE_PROFILE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/flowguard.hh"
+
+namespace flowguard {
+
+/** Stable hash over the program's code (addresses + operands). */
+uint64_t programFingerprint(const isa::Program &program);
+
+/** Writes the guard's training state. Requires analyze(). */
+void saveProfile(const FlowGuard &guard, std::ostream &out);
+void saveProfile(const FlowGuard &guard, const std::string &path);
+
+/**
+ * Loads training state into `guard` (analyze() is run if needed).
+ * Fatal if the profile belongs to a different program or if the
+ * reconstructed ITC-CFG shape differs.
+ */
+void loadProfile(FlowGuard &guard, std::istream &in);
+void loadProfile(FlowGuard &guard, const std::string &path);
+
+} // namespace flowguard
+
+#endif // FLOWGUARD_CORE_PROFILE_IO_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * BasicKernel — the plain OS personality behind the syscall boundary.
+ *
+ * Implements the syscall set the synthetic workloads use: byte I/O on
+ * stdin/stdout (also standing in for socket recv/send, the preeny
+ * desock trick the paper uses for nginx fuzzing), a bump-allocating
+ * mmap, mprotect, signal registration and sigreturn with an on-stack
+ * frame (the SROP attack surface), gettimeofday (normally a VDSO
+ * fast path), execve and exit.
+ *
+ * FlowGuard's runtime interposes on this handler exactly like the
+ * paper's kernel module interposes on the Linux syscall table.
+ */
+
+#ifndef FLOWGUARD_CPU_BASIC_KERNEL_HH
+#define FLOWGUARD_CPU_BASIC_KERNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cpu.hh"
+#include "isa/loader.hh"
+#include "isa/syscalls.hh"
+
+namespace flowguard::cpu {
+
+class BasicKernel : public SyscallHandler
+{
+  public:
+    BasicKernel() = default;
+
+    /** Bytes the next read()/recv() calls will consume. */
+    void setInput(std::vector<uint8_t> input);
+
+    /** Everything the process wrote via write()/send(). */
+    const std::vector<uint8_t> &output() const { return _output; }
+
+    /** Per-syscall-number invocation counters. */
+    uint64_t syscallCount(isa::Syscall number) const;
+    uint64_t totalSyscalls() const { return _totalSyscalls; }
+
+    /** Resets I/O, allocator and counters. */
+    void reset();
+
+    SyscallResult onSyscall(Cpu &cpu, int64_t number) override;
+
+    /**
+     * Layout of the sigreturn frame popped off the stack:
+     * [magic, r0..r15, pc], 18 u64 values, magic first at the lowest
+     * address (where sp points).
+     */
+    static constexpr uint64_t sigframe_magic = 0x5347464d41474943ULL;
+    static constexpr uint64_t sigframe_words = 18;
+
+  protected:
+    /** The actual service routines; interception layers route here. */
+    SyscallResult dispatch(Cpu &cpu, int64_t number);
+
+  private:
+    std::vector<uint8_t> _input;
+    size_t _inputPos = 0;
+    std::vector<uint8_t> _output;
+    uint64_t _mmapCursor = isa::layout::mmap_base;
+    uint64_t _timeNow = 1'700'000'000;
+    std::vector<std::pair<int64_t, uint64_t>> _sigHandlers;
+    std::vector<uint64_t> _counts;
+    uint64_t _totalSyscalls = 0;
+};
+
+} // namespace flowguard::cpu
+
+#endif // FLOWGUARD_CPU_BASIC_KERNEL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Branch/retirement events published by the CPU to trace hardware.
+ *
+ * Every CoFI retire produces one BranchEvent; the IPT/BTS/LBR models
+ * subscribe as TraceSinks and translate events into their respective
+ * formats (Table 3 of the paper maps event kinds to IPT packets).
+ */
+
+#ifndef FLOWGUARD_CPU_EVENTS_HH
+#define FLOWGUARD_CPU_EVENTS_HH
+
+#include <cstdint>
+
+namespace flowguard::cpu {
+
+/** CoFI classes, matching the rows of the paper's Table 3. */
+enum class BranchKind : uint8_t {
+    DirectJump,     ///< jmp imm — no IPT output
+    DirectCall,     ///< call imm — no IPT output
+    CondTaken,      ///< Jcc taken — TNT(1)
+    CondNotTaken,   ///< Jcc not taken — TNT(0)
+    IndirectJump,   ///< jmp *r — TIP
+    IndirectCall,   ///< call *r — TIP
+    Return,         ///< ret — TIP
+    SyscallEntry,   ///< far transfer into the kernel — FUP + TIP.PGD
+    SyscallExit,    ///< resume in user mode — TIP.PGE
+};
+
+/** One retired control-flow transfer. */
+struct BranchEvent
+{
+    BranchKind kind = BranchKind::DirectJump;
+    uint64_t source = 0;    ///< address of the CoFI instruction
+    uint64_t target = 0;    ///< address control transfers to
+    uint64_t cr3 = 0;       ///< page-table base of the running process
+};
+
+/** Interface for hardware that consumes retirement-time branches. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void onBranch(const BranchEvent &event) = 0;
+};
+
+} // namespace flowguard::cpu
+
+#endif // FLOWGUARD_CPU_EVENTS_HH

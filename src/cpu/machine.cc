@@ -1,0 +1,47 @@
+#include "cpu/machine.hh"
+
+#include "support/logging.hh"
+
+namespace flowguard::cpu {
+
+Machine::Result
+Machine::run(uint64_t max_total_insts)
+{
+    fg_assert(!_processes.empty(), "machine has no processes");
+    Result result;
+
+    int64_t on_core = -1;
+    bool progress = true;
+    while (progress && result.instructions < max_total_insts) {
+        progress = false;
+        for (size_t i = 0; i < _processes.size(); ++i) {
+            Cpu *cpu = _processes[i];
+            if (cpu->state() != Cpu::Stop::Running)
+                continue;
+            if (on_core != static_cast<int64_t>(i)) {
+                if (on_core >= 0)
+                    ++result.contextSwitches;
+                on_core = static_cast<int64_t>(i);
+                if (_onSwitch)
+                    _onSwitch(cpu->program().cr3());
+            }
+            const uint64_t before = cpu->instCount();
+            const uint64_t budget = std::min(
+                _quantum, max_total_insts - result.instructions);
+            cpu->run(budget);
+            result.instructions += cpu->instCount() - before;
+            progress = true;
+            if (result.instructions >= max_total_insts)
+                break;
+        }
+    }
+
+    result.stops.reserve(_processes.size());
+    for (Cpu *cpu : _processes) {
+        result.stops.push_back(cpu->state());
+        result.allHalted &= cpu->state() == Cpu::Stop::Halted;
+    }
+    return result;
+}
+
+} // namespace flowguard::cpu

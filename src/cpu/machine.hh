@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Machine — a single-core round-robin scheduler over several
+ * processes (Cpus).
+ *
+ * Exists for the multi-process experiments of §7.2.4: with one
+ * IA32_RTIT_CR3_MATCH register, a kernel protecting a multi-process
+ * service must reconfigure IPT at every context switch; the
+ * switch callback lets the harness model exactly that (and its cost),
+ * while the proposed multi-CR3 filtering extension needs no
+ * reconfiguration at all.
+ */
+
+#ifndef FLOWGUARD_CPU_MACHINE_HH
+#define FLOWGUARD_CPU_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/cpu.hh"
+
+namespace flowguard::cpu {
+
+class Machine
+{
+  public:
+    /** Called on each context switch with the incoming CR3. */
+    using SwitchCallback = std::function<void(uint64_t next_cr3)>;
+
+    /** Registers a runnable process. Non-owning. */
+    void addProcess(Cpu &cpu) { _processes.push_back(&cpu); }
+
+    /** Instructions per scheduling quantum (default 5000). */
+    void setQuantum(uint64_t insts) { _quantum = insts; }
+
+    void setSwitchCallback(SwitchCallback callback)
+    {
+        _onSwitch = std::move(callback);
+    }
+
+    struct Result
+    {
+        uint64_t instructions = 0;
+        uint64_t contextSwitches = 0;
+        bool allHalted = true;
+        std::vector<Cpu::Stop> stops;
+    };
+
+    /**
+     * Round-robins the processes until all have stopped or the
+     * global instruction budget is exhausted. The switch callback
+     * fires whenever a different process is put on the core.
+     */
+    Result run(uint64_t max_total_insts = UINT64_MAX);
+
+  private:
+    std::vector<Cpu *> _processes;
+    uint64_t _quantum = 5000;
+    SwitchCallback _onSwitch;
+};
+
+} // namespace flowguard::cpu
+
+#endif // FLOWGUARD_CPU_MACHINE_HH

@@ -1,0 +1,95 @@
+#include "cpu/memory.hh"
+
+namespace flowguard::cpu {
+
+const Memory::Page *
+Memory::findPage(uint64_t addr) const
+{
+    auto it = _pages.find(addr / page_size);
+    return it == _pages.end() ? nullptr : &it->second;
+}
+
+Memory::Page &
+Memory::touchPage(uint64_t addr)
+{
+    auto [it, inserted] = _pages.try_emplace(addr / page_size);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+uint8_t
+Memory::read8(uint64_t addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr % page_size] : 0;
+}
+
+uint64_t
+Memory::read64(uint64_t addr) const
+{
+    // Fast path: fully inside one page.
+    if (addr % page_size <= page_size - 8) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        uint64_t value = 0;
+        const uint8_t *src = page->data() + addr % page_size;
+        for (int i = 7; i >= 0; --i)
+            value = (value << 8) | src[i];
+        return value;
+    }
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | read8(addr + static_cast<uint64_t>(i));
+    return value;
+}
+
+void
+Memory::write8(uint64_t addr, uint8_t value)
+{
+    touchPage(addr)[addr % page_size] = value;
+}
+
+void
+Memory::write64(uint64_t addr, uint64_t value)
+{
+    if (addr % page_size <= page_size - 8) {
+        Page &page = touchPage(addr);
+        uint8_t *dst = page.data() + addr % page_size;
+        for (int i = 0; i < 8; ++i)
+            dst[i] = static_cast<uint8_t>(value >> (8 * i));
+        return;
+    }
+    for (int i = 0; i < 8; ++i)
+        write8(addr + static_cast<uint64_t>(i),
+               static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::readBytes(uint64_t addr, uint8_t *out, uint64_t len) const
+{
+    for (uint64_t i = 0; i < len; ++i)
+        out[i] = read8(addr + i);
+}
+
+void
+Memory::writeBytes(uint64_t addr, const uint8_t *in, uint64_t len)
+{
+    for (uint64_t i = 0; i < len; ++i)
+        write8(addr + i, in[i]);
+}
+
+void
+Memory::writeBytes(uint64_t addr, const std::vector<uint8_t> &in)
+{
+    writeBytes(addr, in.data(), in.size());
+}
+
+void
+Memory::clear()
+{
+    _pages.clear();
+}
+
+} // namespace flowguard::cpu

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Sparse flat memory, 4 KiB pages allocated on first touch.
+ *
+ * Loads of untouched memory read zero (anonymous-mapping semantics).
+ * Write protection is enforced by the Cpu against the program's code
+ * ranges (W^X / DEP, an explicit assumption of the paper's threat
+ * model), not here.
+ */
+
+#ifndef FLOWGUARD_CPU_MEMORY_HH
+#define FLOWGUARD_CPU_MEMORY_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace flowguard::cpu {
+
+class Memory
+{
+  public:
+    static constexpr uint64_t page_size = 4096;
+
+    uint8_t read8(uint64_t addr) const;
+    uint64_t read64(uint64_t addr) const;
+    void write8(uint64_t addr, uint8_t value);
+    void write64(uint64_t addr, uint64_t value);
+
+    void readBytes(uint64_t addr, uint8_t *out, uint64_t len) const;
+    void writeBytes(uint64_t addr, const uint8_t *in, uint64_t len);
+    void writeBytes(uint64_t addr, const std::vector<uint8_t> &in);
+
+    /** Drops all pages. */
+    void clear();
+
+    /** Number of pages currently materialized. */
+    std::size_t pageCount() const { return _pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, page_size>;
+
+    const Page *findPage(uint64_t addr) const;
+    Page &touchPage(uint64_t addr);
+
+    std::unordered_map<uint64_t, Page> _pages;
+};
+
+} // namespace flowguard::cpu
+
+#endif // FLOWGUARD_CPU_MEMORY_HH

@@ -1,0 +1,152 @@
+#include "decode/fast_decoder.hh"
+
+#include <algorithm>
+
+namespace flowguard::decode {
+
+using trace::Packet;
+using trace::PacketKind;
+using trace::PacketParser;
+
+namespace {
+
+void
+charge(cpu::CycleAccount *account, uint64_t bytes)
+{
+    if (account)
+        account->decode += static_cast<double>(bytes) *
+                           cpu::cost::sw_packet_decode_per_byte;
+}
+
+FastDecodeResult
+decodeFrom(const uint8_t *data, size_t size, size_t start,
+           size_t end = SIZE_MAX)
+{
+    FastDecodeResult result;
+    PacketParser parser(data, std::min(size, end));
+    parser.seek(start);
+
+    std::vector<uint8_t> pending_tnt;
+    Packet pkt;
+    while (parser.next(pkt)) {
+        ++result.packetCount;
+        switch (pkt.kind) {
+          case PacketKind::Pad:
+          case PacketKind::PsbEnd:
+            break;
+          case PacketKind::Psb:
+            ++result.psbCount;
+            break;
+          case PacketKind::Tnt:
+            for (int i = 0; i < pkt.tntCount; ++i)
+                pending_tnt.push_back((pkt.tntBits >> i) & 1);
+            break;
+          case PacketKind::Tip:
+          case PacketKind::TipPge:
+          case PacketKind::TipPgd:
+          case PacketKind::Fup: {
+            FlowStep step;
+            step.kind = pkt.kind == PacketKind::Tip ? StepKind::Tip
+                : pkt.kind == PacketKind::TipPge ? StepKind::Pge
+                : pkt.kind == PacketKind::TipPgd ? StepKind::Pgd
+                : StepKind::Fup;
+            step.ipSuppressed = pkt.ipSuppressed;
+            step.ip = pkt.ip;
+            step.tntBefore = std::move(pending_tnt);
+            pending_tnt.clear();
+            result.steps.push_back(std::move(step));
+            break;
+          }
+        }
+    }
+    result.trailingTnt = std::move(pending_tnt);
+    result.malformed = parser.bad();
+    result.bytesScanned = parser.offset() - start;
+    result.startOffset = start;
+    return result;
+}
+
+} // namespace
+
+FastDecodeResult
+decodePacketLayer(const uint8_t *data, size_t size,
+                  cpu::CycleAccount *account)
+{
+    FastDecodeResult result = decodeFrom(data, size, 0);
+    charge(account, result.bytesScanned);
+    return result;
+}
+
+FastDecodeResult
+decodePacketLayer(const std::vector<uint8_t> &data,
+                  cpu::CycleAccount *account)
+{
+    return decodePacketLayer(data.data(), data.size(), account);
+}
+
+FastDecodeResult
+decodeRecentTips(const uint8_t *data, size_t size, size_t min_tips,
+                 cpu::CycleAccount *account)
+{
+    // PSB sync points let us begin decoding anywhere; walk backwards
+    // segment by segment until the suffix holds enough TIP packets,
+    // then emit the suffix in one chronological pass. Each byte is
+    // touched at most twice (count pass + emit pass).
+    std::vector<uint64_t> syncs = trace::findPsbOffsets(data, size);
+    if (syncs.empty())
+        return decodePacketLayer(data, size, account);
+
+    uint64_t scanned = 0;
+    size_t cutoff = syncs.size() - 1;
+    size_t tips = 0;
+    for (size_t i = syncs.size(); i-- > 0;) {
+        const size_t seg_end = i + 1 < syncs.size()
+            ? static_cast<size_t>(syncs[i + 1]) : size;
+        FastDecodeResult segment = decodeFrom(
+            data, size, static_cast<size_t>(syncs[i]), seg_end);
+        scanned += segment.bytesScanned;
+        for (const auto &step : segment.steps)
+            tips += step.kind == StepKind::Tip ? 1 : 0;
+        cutoff = i;
+        if (tips >= min_tips)
+            break;
+    }
+
+    FastDecodeResult result =
+        decodeFrom(data, size, static_cast<size_t>(syncs[cutoff]));
+    scanned += result.bytesScanned;
+    result.bytesScanned = scanned;
+    charge(account, scanned);
+    return result;
+}
+
+FastDecodeResult
+decodeRecentTips(const std::vector<uint8_t> &data, size_t min_tips,
+                 cpu::CycleAccount *account)
+{
+    return decodeRecentTips(data.data(), data.size(), min_tips, account);
+}
+
+std::vector<TipTransition>
+extractTipTransitions(const FastDecodeResult &flow)
+{
+    std::vector<TipTransition> out;
+    uint64_t prev = 0;
+    std::vector<uint8_t> tnt;
+    for (const auto &step : flow.steps) {
+        tnt.insert(tnt.end(), step.tntBefore.begin(),
+                   step.tntBefore.end());
+        if (step.kind != StepKind::Tip || step.ipSuppressed)
+            continue;   // context markers are transparent
+        TipTransition transition;
+        transition.from = prev;
+        transition.to = step.ip;
+        transition.tnt = std::move(tnt);
+        tnt.clear();
+        out.push_back(std::move(transition));
+        prev = step.ip;
+    }
+    return out;
+}
+
+} // namespace flowguard::decode

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fast (packet-layer) decoder — the fast-path front end of §5.3.
+ *
+ * Parses raw IPT bytes and extracts only the control-flow packets
+ * (TIP/TNT plus the PGE/PGD/FUP context markers), without ever
+ * consulting the binaries. PSB packets serve as sync points, so
+ * decoding can start at any PSB and independent segments can be
+ * processed in parallel.
+ */
+
+#ifndef FLOWGUARD_DECODE_FAST_DECODER_HH
+#define FLOWGUARD_DECODE_FAST_DECODER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cost_model.hh"
+#include "trace/ipt_packets.hh"
+
+namespace flowguard::decode {
+
+/** Classes of flow-relevant packets surfaced to checkers. */
+enum class StepKind : uint8_t { Tip, Pge, Pgd, Fup };
+
+/**
+ * One flow step: a TIP-class packet plus the TNT outcomes observed
+ * since the previous step (the paper's per-edge TNT association).
+ */
+struct FlowStep
+{
+    StepKind kind = StepKind::Tip;
+    bool ipSuppressed = false;
+    uint64_t ip = 0;
+    /** Conditional outcomes since the previous step, oldest first. */
+    std::vector<uint8_t> tntBefore;
+};
+
+/** Result of a packet-layer decode. */
+struct FastDecodeResult
+{
+    std::vector<FlowStep> steps;        ///< chronological
+    std::vector<uint8_t> trailingTnt;   ///< TNT after the last step
+    uint64_t bytesScanned = 0;
+    uint64_t packetCount = 0;
+    bool malformed = false;
+    /** Number of PSB sync points encountered. */
+    uint64_t psbCount = 0;
+    /** Byte offset of the sync point decoding started from. */
+    uint64_t startOffset = 0;
+};
+
+/**
+ * Decodes the entire buffer at the packet layer.
+ * Charges cost::sw_packet_decode_per_byte into account->decode.
+ */
+FastDecodeResult decodePacketLayer(const uint8_t *data, size_t size,
+                                   cpu::CycleAccount *account = nullptr);
+
+FastDecodeResult decodePacketLayer(const std::vector<uint8_t> &data,
+                                   cpu::CycleAccount *account = nullptr);
+
+/**
+ * Decodes only enough of the tail of the buffer to recover at least
+ * `min_tips` TIP packets (not counting PGE/PGD/FUP), starting from the
+ * latest possible PSB sync point. This is what the runtime fast path
+ * uses: it never pays for the whole ToPA buffer.
+ *
+ * The returned steps are chronological and cover the suffix of the
+ * trace from the chosen sync point. If the buffer holds fewer TIPs,
+ * everything available is returned.
+ */
+FastDecodeResult decodeRecentTips(const uint8_t *data, size_t size,
+                                  size_t min_tips,
+                                  cpu::CycleAccount *account = nullptr);
+
+FastDecodeResult decodeRecentTips(const std::vector<uint8_t> &data,
+                                  size_t min_tips,
+                                  cpu::CycleAccount *account = nullptr);
+
+/**
+ * One ITC-CFG-level transition: consecutive TIP targets with the
+ * conditional outcomes observed between them. PGE/PGD/FUP context
+ * markers (syscalls, context switches) are transparent: they do not
+ * break TIP adjacency, and TNT bits accumulate across them.
+ */
+struct TipTransition
+{
+    uint64_t from = 0;      ///< 0 for the first TIP in the window
+    uint64_t to = 0;
+    std::vector<uint8_t> tnt;   ///< outcomes between from and to
+};
+
+/** Folds a packet-layer decode into TIP transitions. */
+std::vector<TipTransition>
+extractTipTransitions(const FastDecodeResult &flow);
+
+} // namespace flowguard::decode
+
+#endif // FLOWGUARD_DECODE_FAST_DECODER_HH

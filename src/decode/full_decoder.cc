@@ -1,0 +1,288 @@
+#include "decode/full_decoder.hh"
+
+#include "support/logging.hh"
+#include "trace/ipt_packets.hh"
+
+namespace flowguard::decode {
+
+using cpu::BranchKind;
+using isa::Instruction;
+using isa::Opcode;
+using trace::Packet;
+using trace::PacketKind;
+using trace::PacketParser;
+
+namespace {
+
+/** Flattened packet stream: one entry per TNT *bit* or TIP-class
+ *  packet, in emission order. */
+struct Event
+{
+    enum class Kind : uint8_t { TntBit, Tip, Pge, Pgd, Fup };
+    Kind kind;
+    uint8_t bit = 0;
+    bool suppressed = false;
+    uint64_t ip = 0;
+};
+
+struct EventStream
+{
+    std::vector<Event> events;
+    size_t cursor = 0;
+
+    bool done() const { return cursor >= events.size(); }
+    const Event &peek() const { return events[cursor]; }
+    void consume() { ++cursor; }
+};
+
+} // namespace
+
+FullDecodeResult
+decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
+                      size_t size, cpu::CycleAccount *account)
+{
+    FullDecodeResult result;
+
+    // --- flatten packets into an event stream ---------------------------
+    EventStream stream;
+    bool synced = false;        // saw a PSB
+    bool started = false;       // found the first addressable IP
+    {
+        PacketParser parser(data, size);
+        Packet pkt;
+        while (parser.next(pkt)) {
+            switch (pkt.kind) {
+              case PacketKind::Pad:
+              case PacketKind::PsbEnd:
+                break;
+              case PacketKind::Psb:
+                synced = true;
+                break;
+              case PacketKind::Tnt:
+                if (!started)
+                    break;  // outcomes before a known IP are unusable
+                for (int i = 0; i < pkt.tntCount; ++i)
+                    stream.events.push_back(
+                        {Event::Kind::TntBit,
+                         static_cast<uint8_t>((pkt.tntBits >> i) & 1),
+                         false, 0});
+                break;
+              case PacketKind::Tip:
+              case PacketKind::TipPge:
+              case PacketKind::TipPgd:
+              case PacketKind::Fup: {
+                if (!synced)
+                    break;  // cannot trust IP compression before PSB
+                Event::Kind kind =
+                    pkt.kind == PacketKind::Tip ? Event::Kind::Tip
+                    : pkt.kind == PacketKind::TipPge ? Event::Kind::Pge
+                    : pkt.kind == PacketKind::TipPgd ? Event::Kind::Pgd
+                    : Event::Kind::Fup;
+                if (!started) {
+                    // First addressable packet: a TIP or PGE target
+                    // gives us the walk's start IP.
+                    if ((kind == Event::Kind::Tip ||
+                         kind == Event::Kind::Pge) &&
+                        !pkt.ipSuppressed) {
+                        result.startIp = pkt.ip;
+                        started = true;
+                    }
+                    break;  // the sync packet itself is not replayed
+                }
+                stream.events.push_back(
+                    {kind, 0, pkt.ipSuppressed, pkt.ip});
+                break;
+              }
+            }
+        }
+    }
+
+    if (!started) {
+        result.status = FullDecodeResult::Status::NoSync;
+        result.error = "no PSB-anchored TIP/PGE to start from";
+        return result;
+    }
+
+    // --- instruction-by-instruction walk --------------------------------
+    auto desync = [&](const std::string &why) {
+        result.status = FullDecodeResult::Status::Desync;
+        result.error = why;
+    };
+
+    // Reconstruction past the last packet is unverifiable; stop once
+    // every event is consumed. The walk budget is a backstop against
+    // pathological direct-branch cycles in malformed programs.
+    constexpr uint64_t walk_budget = 50'000'000;
+    uint64_t ip = result.startIp;
+    bool walking = true;
+    while (walking && !stream.done()) {
+        if (result.instructionsWalked >= walk_budget) {
+            desync("instruction walk budget exceeded");
+            break;
+        }
+        const Instruction *inst = program.fetch(ip);
+        if (!inst) {
+            result.status = FullDecodeResult::Status::BadFlow;
+            result.error = "flow left mapped code";
+            break;
+        }
+        ++result.instructionsWalked;
+        const uint64_t next = ip + isa::instSize(inst->op);
+
+        // Transparent handling of context-switch pauses: a PGD not
+        // explained by a syscall instruction must be followed by a PGE
+        // resuming exactly where we paused.
+        while (!stream.done() &&
+               stream.peek().kind == Event::Kind::Pgd &&
+               inst->op != Opcode::Syscall) {
+            stream.consume();
+            if (stream.done()) {
+                walking = false;
+                break;
+            }
+            const Event &resume = stream.peek();
+            if (resume.kind != Event::Kind::Pge || resume.ip != ip) {
+                desync("context resumed at an unexpected address");
+                walking = false;
+                break;
+            }
+            stream.consume();
+        }
+        if (!walking || result.status != FullDecodeResult::Status::Ok)
+            break;
+
+        switch (inst->op) {
+          case Opcode::Jcc: {
+            if (stream.done()) {
+                walking = false;
+                break;
+            }
+            const Event &ev = stream.peek();
+            if (ev.kind != Event::Kind::TntBit) {
+                desync("expected TNT outcome at conditional branch");
+                walking = false;
+                break;
+            }
+            const bool taken = ev.bit != 0;
+            stream.consume();
+            result.branches.push_back(
+                {taken ? BranchKind::CondTaken
+                       : BranchKind::CondNotTaken,
+                 ip, taken ? inst->target : next});
+            ip = taken ? inst->target : next;
+            break;
+          }
+
+          case Opcode::Jmp:
+            result.branches.push_back(
+                {BranchKind::DirectJump, ip, inst->target});
+            ip = inst->target;
+            break;
+
+          case Opcode::Call:
+            result.branches.push_back(
+                {BranchKind::DirectCall, ip, inst->target});
+            ip = inst->target;
+            break;
+
+          case Opcode::JmpInd:
+          case Opcode::CallInd:
+          case Opcode::Ret: {
+            if (stream.done()) {
+                walking = false;
+                break;
+            }
+            const Event &ev = stream.peek();
+            if (ev.kind != Event::Kind::Tip || ev.suppressed) {
+                desync("expected TIP at indirect branch");
+                walking = false;
+                break;
+            }
+            stream.consume();
+            BranchKind kind = inst->op == Opcode::JmpInd
+                ? BranchKind::IndirectJump
+                : inst->op == Opcode::CallInd
+                    ? BranchKind::IndirectCall
+                    : BranchKind::Return;
+            result.branches.push_back({kind, ip, ev.ip});
+            ip = ev.ip;
+            break;
+          }
+
+          case Opcode::Syscall: {
+            if (stream.done()) {
+                walking = false;
+                break;
+            }
+            // FUP at the syscall, PGD entering the kernel.
+            if (stream.peek().kind != Event::Kind::Fup ||
+                stream.peek().ip != ip) {
+                desync("expected FUP at syscall");
+                walking = false;
+                break;
+            }
+            stream.consume();
+            if (stream.done() ||
+                stream.peek().kind != Event::Kind::Pgd) {
+                desync("expected TIP.PGD after syscall FUP");
+                walking = false;
+                break;
+            }
+            stream.consume();
+            result.branches.push_back(
+                {BranchKind::SyscallEntry, ip, 0});
+            if (stream.done()) {
+                walking = false;   // trace ends inside the kernel
+                break;
+            }
+            const Event &resume = stream.peek();
+            if (resume.kind != Event::Kind::Pge) {
+                desync("expected TIP.PGE resuming from syscall");
+                walking = false;
+                break;
+            }
+            stream.consume();
+            result.branches.push_back(
+                {BranchKind::SyscallExit, ip, resume.ip});
+            ip = resume.ip;
+            break;
+          }
+
+          case Opcode::Halt:
+            walking = false;
+            break;
+
+          default:
+            ip = next;
+            break;
+        }
+    }
+
+    if (account) {
+        uint64_t tips = 0;
+        for (const auto &branch : result.branches) {
+            tips += branch.kind == BranchKind::IndirectJump ||
+                    branch.kind == BranchKind::IndirectCall ||
+                    branch.kind == BranchKind::Return;
+        }
+        account->decode +=
+            static_cast<double>(result.instructionsWalked) *
+                cpu::cost::sw_full_decode_per_inst +
+            static_cast<double>(result.branches.size()) *
+                cpu::cost::sw_full_decode_per_branch +
+            static_cast<double>(tips) *
+                cpu::cost::sw_full_decode_per_tip;
+    }
+    return result;
+}
+
+FullDecodeResult
+decodeInstructionFlow(const isa::Program &program,
+                      const std::vector<uint8_t> &data,
+                      cpu::CycleAccount *account)
+{
+    return decodeInstructionFlow(program, data.data(), data.size(),
+                                 account);
+}
+
+} // namespace flowguard::decode

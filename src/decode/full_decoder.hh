@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Full (instruction-flow-layer) decoder — the engine behind the slow
+ * path and behind the paper's §2 "decoding is ~230x" measurement.
+ *
+ * Mirrors the Intel reference decoder's instruction flow layer: it
+ * walks the program binaries instruction by instruction, consuming a
+ * TNT bit at every conditional branch and a TIP payload at every
+ * indirect branch, and thereby reconstructs the complete control flow
+ * including all the direct transfers IPT never logged.
+ */
+
+#ifndef FLOWGUARD_DECODE_FULL_DECODER_HH
+#define FLOWGUARD_DECODE_FULL_DECODER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/cost_model.hh"
+#include "cpu/events.hh"
+#include "isa/program.hh"
+
+namespace flowguard::decode {
+
+/** One reconstructed control transfer. */
+struct DecodedBranch
+{
+    cpu::BranchKind kind = cpu::BranchKind::DirectJump;
+    uint64_t source = 0;
+    uint64_t target = 0;
+};
+
+/** Outcome of a full decode. */
+struct FullDecodeResult
+{
+    enum class Status : uint8_t {
+        Ok,             ///< all packets consumed coherently
+        NoSync,         ///< no usable sync point in the buffer
+        Desync,         ///< packets inconsistent with the binaries
+        BadFlow,        ///< walked off mapped code
+    };
+
+    Status status = Status::Ok;
+    std::vector<DecodedBranch> branches;
+    /** Instructions walked — the unit the 230x cost scales with. */
+    uint64_t instructionsWalked = 0;
+    /** Where the reconstruction started (first known IP). */
+    uint64_t startIp = 0;
+    std::string error;
+
+    bool ok() const { return status == Status::Ok; }
+};
+
+/**
+ * Reconstructs instruction-level flow from raw IPT bytes.
+ *
+ * The walk starts at the first addressable sync point: the target of
+ * the first PGE or TIP packet following a PSB (conditional outcomes
+ * before that point are unusable and skipped, as in any mid-stream
+ * attach). Charges cost::sw_full_decode_per_inst per instruction into
+ * account->decode.
+ */
+FullDecodeResult decodeInstructionFlow(
+    const isa::Program &program, const uint8_t *data, size_t size,
+    cpu::CycleAccount *account = nullptr);
+
+FullDecodeResult decodeInstructionFlow(
+    const isa::Program &program, const std::vector<uint8_t> &data,
+    cpu::CycleAccount *account = nullptr);
+
+} // namespace flowguard::decode
+
+#endif // FLOWGUARD_DECODE_FULL_DECODER_HH

@@ -1,0 +1,59 @@
+#include "fuzz/fuzzer.hh"
+
+#include "support/logging.hh"
+
+namespace flowguard::fuzz {
+
+Fuzzer::Fuzzer(RunTarget target, uint64_t seed)
+    : _target(std::move(target)), _rng(seed), _mutator(_rng)
+{
+    fg_assert(_target, "fuzzer needs a run callback");
+}
+
+void
+Fuzzer::addSeed(Input input)
+{
+    if (execute(input))
+        _corpus.push_back(std::move(input));
+    else if (_corpus.empty())
+        _corpus.push_back(std::move(input));    // keep at least one
+}
+
+bool
+Fuzzer::execute(const Input &input)
+{
+    CoverageMap map;
+    CoverageSink sink(map);
+    _target(input, &sink);
+    ++_executions;
+    const bool fresh = _coverage.mergeAndCheckNew(map);
+    if (fresh || (_executions % 64) == 0) {
+        _history.push_back(
+            {_executions, _corpus.size() + (fresh ? 1 : 0),
+             _coverage.bitsSeen()});
+    }
+    return fresh;
+}
+
+void
+Fuzzer::run(uint64_t budget)
+{
+    fg_assert(!_corpus.empty(), "fuzzer needs at least one seed");
+    for (uint64_t i = 0; i < budget; ++i) {
+        // Round-robin over the queue, AFL-style, with occasional
+        // splices between two corpus entries.
+        const Input &base = _corpus[_queueCursor % _corpus.size()];
+        ++_queueCursor;
+        Input candidate;
+        if (_corpus.size() >= 2 && _rng.chance(0.15)) {
+            const Input &other = _corpus[_rng.below(_corpus.size())];
+            candidate = _mutator.splice(base, other);
+        } else {
+            candidate = _mutator.mutate(base);
+        }
+        if (execute(candidate))
+            _corpus.push_back(std::move(candidate));
+    }
+}
+
+} // namespace flowguard::fuzz

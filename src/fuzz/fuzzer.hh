@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Coverage-oriented fuzzer driver (§4.3 steps 1-2).
+ *
+ * Generic over a run callback — "the trained application runs in QEMU
+ * with instrumentation on top" — which executes the target on an
+ * input with a TraceSink attached. Inputs producing new coverage join
+ * the queue for further mutation; the queue is the training corpus.
+ */
+
+#ifndef FLOWGUARD_FUZZ_FUZZER_HH
+#define FLOWGUARD_FUZZ_FUZZER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fuzz/coverage.hh"
+#include "fuzz/mutator.hh"
+#include "support/random.hh"
+
+namespace flowguard::fuzz {
+
+/** Runs the target on `input` with `sink` observing branches. */
+using RunTarget =
+    std::function<void(const Input &input, cpu::TraceSink *sink)>;
+
+/** A (executions, corpus size) sample for Figure 5(d)-style curves. */
+struct FuzzProgressPoint
+{
+    uint64_t executions = 0;
+    size_t corpusSize = 0;
+    size_t coverageBits = 0;
+};
+
+class Fuzzer
+{
+  public:
+    Fuzzer(RunTarget target, uint64_t seed = 1);
+
+    /** Adds an initial test case. */
+    void addSeed(Input input);
+
+    /**
+     * Runs `budget` target executions. Can be called repeatedly; the
+     * corpus and coverage persist across calls.
+     */
+    void run(uint64_t budget);
+
+    const std::vector<Input> &corpus() const { return _corpus; }
+    uint64_t executions() const { return _executions; }
+    size_t coverageBits() const { return _coverage.bitsSeen(); }
+    const std::vector<FuzzProgressPoint> &history() const
+    {
+        return _history;
+    }
+
+  private:
+    bool execute(const Input &input);
+
+    RunTarget _target;
+    Rng _rng;
+    Mutator _mutator;
+    GlobalCoverage _coverage;
+    std::vector<Input> _corpus;
+    size_t _queueCursor = 0;
+    uint64_t _executions = 0;
+    std::vector<FuzzProgressPoint> _history;
+};
+
+} // namespace flowguard::fuzz
+
+#endif // FLOWGUARD_FUZZ_FUZZER_HH

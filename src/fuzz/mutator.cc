@@ -1,0 +1,134 @@
+#include "fuzz/mutator.hh"
+
+#include <algorithm>
+
+namespace flowguard::fuzz {
+
+namespace {
+
+constexpr uint8_t interesting8[] = {0, 1, 16, 32, 64, 100, 127,
+                                    128, 255};
+
+} // namespace
+
+Input
+Mutator::bitFlip(Input input)
+{
+    if (input.empty())
+        input.push_back(0);
+    const size_t pos = _rng.below(input.size() * 8);
+    input[pos / 8] ^= static_cast<uint8_t>(1u << (pos % 8));
+    return input;
+}
+
+Input
+Mutator::byteFlip(Input input)
+{
+    if (input.empty())
+        input.push_back(0);
+    input[_rng.below(input.size())] ^= 0xFF;
+    return input;
+}
+
+Input
+Mutator::arith(Input input)
+{
+    if (input.empty())
+        input.push_back(0);
+    const size_t pos = _rng.below(input.size());
+    const int delta = static_cast<int>(_rng.range(1, 35));
+    input[pos] = static_cast<uint8_t>(
+        input[pos] + (_rng.chance(0.5) ? delta : -delta));
+    return input;
+}
+
+Input
+Mutator::interesting(Input input)
+{
+    if (input.empty())
+        input.push_back(0);
+    input[_rng.below(input.size())] =
+        interesting8[_rng.below(std::size(interesting8))];
+    return input;
+}
+
+Input
+Mutator::havoc(Input input)
+{
+    const uint64_t edits = _rng.range(1, 8);
+    for (uint64_t e = 0; e < edits; ++e) {
+        switch (_rng.below(6)) {
+          case 0:
+            input = bitFlip(std::move(input));
+            break;
+          case 1:
+            input = byteFlip(std::move(input));
+            break;
+          case 2:
+            input = arith(std::move(input));
+            break;
+          case 3:
+            input = interesting(std::move(input));
+            break;
+          case 4: {  // insert a random byte
+            const size_t pos = _rng.below(input.size() + 1);
+            input.insert(input.begin() + static_cast<int64_t>(pos),
+                         static_cast<uint8_t>(_rng.below(256)));
+            break;
+          }
+          case 5: {  // delete or duplicate a run
+            if (input.size() > 1 && _rng.chance(0.5)) {
+                const size_t pos = _rng.below(input.size());
+                const size_t len = std::min<size_t>(
+                    _rng.range(1, 8), input.size() - pos);
+                input.erase(
+                    input.begin() + static_cast<int64_t>(pos),
+                    input.begin() + static_cast<int64_t>(pos + len));
+            } else if (!input.empty()) {
+                const size_t pos = _rng.below(input.size());
+                const size_t len = std::min<size_t>(
+                    _rng.range(1, 8), input.size() - pos);
+                Input run(input.begin() + static_cast<int64_t>(pos),
+                          input.begin() +
+                              static_cast<int64_t>(pos + len));
+                input.insert(input.begin() +
+                                 static_cast<int64_t>(pos),
+                             run.begin(), run.end());
+            }
+            break;
+          }
+        }
+        if (input.size() > 4096)
+            input.resize(4096);    // keep inputs bounded
+    }
+    if (input.empty())
+        input.push_back(0);
+    return input;
+}
+
+Input
+Mutator::splice(const Input &a, const Input &b)
+{
+    Input out;
+    const size_t head = a.empty() ? 0 : _rng.below(a.size() + 1);
+    const size_t tail = b.empty() ? 0 : _rng.below(b.size() + 1);
+    out.insert(out.end(), a.begin(),
+               a.begin() + static_cast<int64_t>(head));
+    out.insert(out.end(), b.begin() + static_cast<int64_t>(tail),
+               b.end());
+    return havoc(std::move(out));
+}
+
+Input
+Mutator::mutate(const Input &base)
+{
+    switch (_rng.below(5)) {
+      case 0: return bitFlip(base);
+      case 1: return byteFlip(base);
+      case 2: return arith(base);
+      case 3: return interesting(base);
+      default: return havoc(base);
+    }
+}
+
+} // namespace flowguard::fuzz

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Input mutation engine (§4.3 step 2) — "a balanced and
+ * well-researched variety of traditional fuzzing strategies": bit and
+ * byte flips, arithmetic nudges, interesting-value substitution,
+ * havoc stacking (random edits, insertions, deletions, duplication)
+ * and splicing of two corpus entries.
+ */
+
+#ifndef FLOWGUARD_FUZZ_MUTATOR_HH
+#define FLOWGUARD_FUZZ_MUTATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/random.hh"
+
+namespace flowguard::fuzz {
+
+using Input = std::vector<uint8_t>;
+
+class Mutator
+{
+  public:
+    explicit Mutator(Rng &rng)
+        : _rng(rng)
+    {}
+
+    /** Applies one randomly selected strategy; never returns empty. */
+    Input mutate(const Input &base);
+
+    /** AFL-style splice: head of `a` + tail of `b`, then havoc. */
+    Input splice(const Input &a, const Input &b);
+
+    // Individual strategies, exposed for targeted testing.
+    Input bitFlip(Input input);
+    Input byteFlip(Input input);
+    Input arith(Input input);
+    Input interesting(Input input);
+    Input havoc(Input input);
+
+  private:
+    Rng &_rng;
+};
+
+} // namespace flowguard::fuzz
+
+#endif // FLOWGUARD_FUZZ_MUTATOR_HH

@@ -1,0 +1,396 @@
+#include "isa/builder.hh"
+
+#include "support/logging.hh"
+
+namespace flowguard::isa {
+
+ModuleBuilder::ModuleBuilder(std::string name, ModuleKind kind)
+{
+    _mod.name = std::move(name);
+    _mod.kind = kind;
+}
+
+ModuleBuilder &
+ModuleBuilder::needs(const std::string &lib)
+{
+    _mod.needed.push_back(lib);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::function(const std::string &name, bool exported)
+{
+    if (!_mod.functions.empty()) {
+        auto &prev = _mod.functions.back();
+        prev.numInsts =
+            static_cast<uint32_t>(_mod.code.size()) - prev.firstInst;
+    }
+    Function fn;
+    fn.name = name;
+    fn.exported = exported;
+    fn.firstInst = static_cast<uint32_t>(_mod.code.size());
+    fn.offset = _offset;
+    _mod.functions.push_back(std::move(fn));
+    _labels.emplace_back();
+    return *this;
+}
+
+void
+ModuleBuilder::requireFunction() const
+{
+    if (_mod.functions.empty())
+        fg_fatal("instruction emitted outside any function in module ",
+                 _mod.name);
+}
+
+Instruction &
+ModuleBuilder::append(Opcode op)
+{
+    requireFunction();
+    Instruction inst;
+    inst.op = op;
+    _mod.instOffsets.push_back(_offset);
+    _offset += instSize(op);
+    _mod.code.push_back(inst);
+    return _mod.code.back();
+}
+
+ModuleBuilder &
+ModuleBuilder::label(const std::string &name)
+{
+    requireFunction();
+    auto &table = _labels.back();
+    if (!table.emplace(name, _offset).second)
+        fg_fatal("duplicate label '", name, "' in ",
+                 _mod.functions.back().name);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::nop()
+{
+    append(Opcode::Nop);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::alu(AluOp op, int rd, int rs)
+{
+    auto &inst = append(Opcode::Alu);
+    inst.aluOp = op;
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.rs = static_cast<uint8_t>(rs);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::aluImm(AluOp op, int rd, int64_t imm)
+{
+    auto &inst = append(Opcode::AluImm);
+    inst.aluOp = op;
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.imm = imm;
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::movImm(int rd, int64_t imm)
+{
+    auto &inst = append(Opcode::MovImm);
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.imm = imm;
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::movImmFunc(int rd, const std::string &symbol)
+{
+    movImm(rd, 0);
+    PendingLocalRef ref;
+    ref.instIndex = static_cast<uint32_t>(_mod.code.size() - 1);
+    ref.field = FixupField::Imm;
+    ref.name = symbol;
+    ref.functionIndex =
+        static_cast<uint32_t>(_mod.functions.size() - 1);
+    ref.labelOnly = false;
+    _funcAddrRefs.push_back(std::move(ref));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::movImmData(int rd, const std::string &symbol)
+{
+    movImm(rd, 0);
+    PendingLocalRef ref;
+    ref.instIndex = static_cast<uint32_t>(_mod.code.size() - 1);
+    ref.field = FixupField::Imm;
+    ref.name = symbol;
+    ref.functionIndex =
+        static_cast<uint32_t>(_mod.functions.size() - 1);
+    ref.labelOnly = false;
+    _dataAddrRefs.push_back(std::move(ref));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::movReg(int rd, int rs)
+{
+    auto &inst = append(Opcode::MovReg);
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.rs = static_cast<uint8_t>(rs);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::load(int rd, int rs, int64_t offset)
+{
+    auto &inst = append(Opcode::Load);
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.rs = static_cast<uint8_t>(rs);
+    inst.imm = offset;
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::store(int rd, int64_t offset, int rs)
+{
+    auto &inst = append(Opcode::Store);
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.rs = static_cast<uint8_t>(rs);
+    inst.imm = offset;
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::cmp(int rd, int rs)
+{
+    auto &inst = append(Opcode::Cmp);
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.rs = static_cast<uint8_t>(rs);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::cmpImm(int rd, int64_t imm)
+{
+    auto &inst = append(Opcode::CmpImm);
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.imm = imm;
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::jcc(Cond cond, const std::string &target)
+{
+    auto &inst = append(Opcode::Jcc);
+    inst.cond = cond;
+    PendingLocalRef ref;
+    ref.instIndex = static_cast<uint32_t>(_mod.code.size() - 1);
+    ref.field = FixupField::Target;
+    ref.name = target;
+    ref.functionIndex =
+        static_cast<uint32_t>(_mod.functions.size() - 1);
+    ref.labelOnly = true;
+    _localRefs.push_back(std::move(ref));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::jmp(const std::string &labelOrFunc)
+{
+    append(Opcode::Jmp);
+    PendingLocalRef ref;
+    ref.instIndex = static_cast<uint32_t>(_mod.code.size() - 1);
+    ref.field = FixupField::Target;
+    ref.name = labelOrFunc;
+    ref.functionIndex =
+        static_cast<uint32_t>(_mod.functions.size() - 1);
+    ref.labelOnly = false;
+    _localRefs.push_back(std::move(ref));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::jmpInd(int rs)
+{
+    auto &inst = append(Opcode::JmpInd);
+    inst.rs = static_cast<uint8_t>(rs);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::call(const std::string &func)
+{
+    append(Opcode::Call);
+    PendingLocalRef ref;
+    ref.instIndex = static_cast<uint32_t>(_mod.code.size() - 1);
+    ref.field = FixupField::Target;
+    ref.name = func;
+    ref.functionIndex =
+        static_cast<uint32_t>(_mod.functions.size() - 1);
+    ref.labelOnly = false;
+    _localRefs.push_back(std::move(ref));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::callExt(const std::string &symbol)
+{
+    append(Opcode::Call);
+    Fixup fx;
+    fx.instIndex = static_cast<uint32_t>(_mod.code.size() - 1);
+    fx.kind = FixupKind::PltCall;
+    fx.field = FixupField::Target;
+    fx.symbol = symbol;
+    _mod.fixups.push_back(std::move(fx));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::callInd(int rs)
+{
+    auto &inst = append(Opcode::CallInd);
+    inst.rs = static_cast<uint8_t>(rs);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::ret()
+{
+    append(Opcode::Ret);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::syscall(int64_t number)
+{
+    auto &inst = append(Opcode::Syscall);
+    inst.imm = number;
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::halt()
+{
+    append(Opcode::Halt);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::dataObject(const std::string &name,
+                          std::vector<uint8_t> bytes,
+                          std::vector<DataReloc> relocs, bool exported)
+{
+    DataObject obj;
+    obj.name = name;
+    obj.exported = exported;
+    obj.offset = _mod.dataSize;
+    obj.bytes = std::move(bytes);
+    obj.relocs = std::move(relocs);
+    _mod.dataSize += (obj.bytes.size() + 7) & ~uint64_t{7};
+    _mod.data.push_back(std::move(obj));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::dataBss(const std::string &name, uint64_t size,
+                       bool exported)
+{
+    return dataObject(name, std::vector<uint8_t>(size, 0), {}, exported);
+}
+
+ModuleBuilder &
+ModuleBuilder::funcPtrTable(const std::string &name,
+                            const std::vector<std::string> &symbols,
+                            bool exported)
+{
+    std::vector<uint8_t> bytes(symbols.size() * 8, 0);
+    std::vector<DataReloc> relocs;
+    relocs.reserve(symbols.size());
+    for (size_t i = 0; i < symbols.size(); ++i)
+        relocs.push_back({i * 8, symbols[i]});
+    return dataObject(name, std::move(bytes), std::move(relocs),
+                      exported);
+}
+
+ModuleBuilder &
+ModuleBuilder::jumpTableHint(const std::string &table, uint32_t count)
+{
+    fg_assert(!_mod.code.empty() &&
+                  _mod.code.back().op == Opcode::JmpInd,
+              "jumpTableHint must follow a JmpInd");
+    JumpTableHint hint;
+    hint.instOffset = _mod.instOffsets.back();
+    hint.table = table;
+    hint.count = count;
+    _mod.jumpTables.push_back(std::move(hint));
+    return *this;
+}
+
+Module
+ModuleBuilder::build()
+{
+    fg_assert(!_built, "ModuleBuilder::build called twice");
+    _built = true;
+
+    if (!_mod.functions.empty()) {
+        auto &last = _mod.functions.back();
+        last.numInsts =
+            static_cast<uint32_t>(_mod.code.size()) - last.firstInst;
+    }
+    _mod.codeSize = _offset;
+
+    // Resolve branches to local labels / same-module functions.
+    for (const auto &ref : _localRefs) {
+        const auto &table = _labels[ref.functionIndex];
+        uint64_t offset = 0;
+        auto it = table.find(ref.name);
+        if (it != table.end()) {
+            offset = it->second;
+        } else if (!ref.labelOnly) {
+            const Function *fn = _mod.findFunction(ref.name);
+            if (!fn) {
+                fg_fatal("unresolved local branch target '", ref.name,
+                         "' in module ", _mod.name);
+            }
+            offset = fn->offset;
+        } else {
+            fg_fatal("unresolved label '", ref.name, "' in module ",
+                     _mod.name);
+        }
+        _mod.code[ref.instIndex].target = offset;
+        _mod.fixups.push_back({ref.instIndex, FixupKind::AddCodeBase,
+                               FixupField::Target, {}});
+    }
+
+    // Address-of-function references: local if defined here, else
+    // imported.
+    for (const auto &ref : _funcAddrRefs) {
+        if (const Function *fn = _mod.findFunction(ref.name)) {
+            _mod.code[ref.instIndex].imm =
+                static_cast<int64_t>(fn->offset);
+            _mod.fixups.push_back({ref.instIndex, FixupKind::AddCodeBase,
+                                   FixupField::Imm, {}});
+        } else {
+            _mod.fixups.push_back({ref.instIndex, FixupKind::ExtFuncAddr,
+                                   FixupField::Imm, ref.name});
+        }
+    }
+
+    // Address-of-data references, same local/imported split.
+    for (const auto &ref : _dataAddrRefs) {
+        if (const DataObject *obj = _mod.findData(ref.name)) {
+            _mod.code[ref.instIndex].imm =
+                static_cast<int64_t>(obj->offset);
+            _mod.fixups.push_back({ref.instIndex, FixupKind::AddDataBase,
+                                   FixupField::Imm, {}});
+        } else {
+            _mod.fixups.push_back({ref.instIndex, FixupKind::ExtDataAddr,
+                                   FixupField::Imm, ref.name});
+        }
+    }
+
+    return std::move(_mod);
+}
+
+} // namespace flowguard::isa

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * ModuleBuilder — an assembler-like fluent API for constructing Modules.
+ *
+ * The builder resolves function-local labels and same-module function
+ * references itself (two-pass, like an assembler); anything crossing a
+ * module boundary is recorded as a Fixup for the Loader.
+ */
+
+#ifndef FLOWGUARD_ISA_BUILDER_HH
+#define FLOWGUARD_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/module.hh"
+
+namespace flowguard::isa {
+
+class ModuleBuilder
+{
+  public:
+    ModuleBuilder(std::string name, ModuleKind kind);
+
+    /** Declares a DT_NEEDED dependency (resolution order matters). */
+    ModuleBuilder &needs(const std::string &lib);
+
+    /** Opens a new function; instructions append to it until the next
+     *  function() or build(). */
+    ModuleBuilder &function(const std::string &name, bool exported = true);
+
+    /** Defines a function-local label at the current offset. */
+    ModuleBuilder &label(const std::string &name);
+
+    // --- straight-line instructions -----------------------------------
+    ModuleBuilder &nop();
+    ModuleBuilder &alu(AluOp op, int rd, int rs);
+    ModuleBuilder &aluImm(AluOp op, int rd, int64_t imm);
+    ModuleBuilder &movImm(int rd, int64_t imm);
+    /** rd = absolute address of a function (address-taken). The symbol
+     *  may live in this module or be imported. */
+    ModuleBuilder &movImmFunc(int rd, const std::string &symbol);
+    /** rd = absolute address of a data object (local or imported). */
+    ModuleBuilder &movImmData(int rd, const std::string &symbol);
+    ModuleBuilder &movReg(int rd, int rs);
+    ModuleBuilder &load(int rd, int rs, int64_t offset);
+    ModuleBuilder &store(int rd, int64_t offset, int rs);
+    ModuleBuilder &cmp(int rd, int rs);
+    ModuleBuilder &cmpImm(int rd, int64_t imm);
+
+    // --- control flow --------------------------------------------------
+    /** Conditional branch to a label in the current function. */
+    ModuleBuilder &jcc(Cond cond, const std::string &label);
+    /** Unconditional branch to a local label or same-module function. */
+    ModuleBuilder &jmp(const std::string &labelOrFunc);
+    ModuleBuilder &jmpInd(int rs);
+    /** Direct call to a same-module function. */
+    ModuleBuilder &call(const std::string &func);
+    /** Call to an imported symbol, routed through a PLT stub. */
+    ModuleBuilder &callExt(const std::string &symbol);
+    ModuleBuilder &callInd(int rs);
+    ModuleBuilder &ret();
+    ModuleBuilder &syscall(int64_t number);
+    ModuleBuilder &halt();
+
+    // --- data -----------------------------------------------------------
+    /** Adds an initialized data object. */
+    ModuleBuilder &dataObject(const std::string &name,
+                              std::vector<uint8_t> bytes,
+                              std::vector<DataReloc> relocs = {},
+                              bool exported = true);
+    /** Adds a zero-filled data object of `size` bytes. */
+    ModuleBuilder &dataBss(const std::string &name, uint64_t size,
+                           bool exported = true);
+    /** Adds a table of 8-byte function pointers (one reloc each). */
+    ModuleBuilder &funcPtrTable(const std::string &name,
+                                const std::vector<std::string> &symbols,
+                                bool exported = true);
+
+    /** Marks the previous JmpInd as dispatching through `table`. */
+    ModuleBuilder &jumpTableHint(const std::string &table, uint32_t count);
+
+    /** Current code offset (address the next instruction will get). */
+    uint64_t here() const { return _offset; }
+
+    /** Finalizes: resolves local labels/functions, computes sizes. */
+    Module build();
+
+  private:
+    struct PendingLocalRef
+    {
+        uint32_t instIndex;
+        FixupField field;
+        std::string name;       ///< label (function-scoped) or function
+        uint32_t functionIndex; ///< function the ref occurs in
+        bool labelOnly;         ///< jcc may only target labels
+    };
+
+    Instruction &append(Opcode op);
+    void requireFunction() const;
+
+    Module _mod;
+    uint64_t _offset = 0;
+    bool _built = false;
+
+    /** label name -> code offset, per function index. */
+    std::vector<std::unordered_map<std::string, uint64_t>> _labels;
+    std::vector<PendingLocalRef> _localRefs;
+    std::vector<PendingLocalRef> _funcAddrRefs;
+    std::vector<PendingLocalRef> _dataAddrRefs;
+};
+
+} // namespace flowguard::isa
+
+#endif // FLOWGUARD_ISA_BUILDER_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Loader — the dynamic linker of the simulator.
+ *
+ * Lays out modules in the address space, synthesizes PLT stubs + GOT
+ * slots for inter-module calls, resolves symbols with ELF-style
+ * interposition (first exporter in load order wins) and VDSO
+ * precedence for functions the VDSO provides (per §4.1 of the paper),
+ * applies relocations, and emits a runnable Program.
+ */
+
+#ifndef FLOWGUARD_ISA_LOADER_HH
+#define FLOWGUARD_ISA_LOADER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/module.hh"
+#include "isa/program.hh"
+
+namespace flowguard::isa {
+
+class Loader
+{
+  public:
+    Loader() = default;
+
+    /** Sets the executable module (exactly one, required). */
+    Loader &addExecutable(Module mod);
+
+    /** Adds a shared library; load order defines interposition order. */
+    Loader &addLibrary(Module mod);
+
+    /** Sets the VDSO module (optional; at most one). */
+    Loader &addVdso(Module mod);
+
+    /** Name of the entry function in the executable (default "main"). */
+    Loader &entryFunction(std::string name);
+
+    /** Distinguishes processes for CR3 trace filtering (default 1). */
+    Loader &cr3(uint64_t value);
+
+    /** Links everything into a Program. Consumes the loader. */
+    Program link();
+
+  private:
+    struct Resolved
+    {
+        bool found = false;
+        uint64_t addr = 0;
+    };
+
+    void synthesizePlt(Module &mod);
+    Resolved resolveFunc(const std::string &symbol) const;
+    Resolved resolveData(const std::string &symbol) const;
+    /** Local definitions shadow global ones for data relocations. */
+    Resolved resolveForModule(size_t moduleIndex,
+                              const std::string &symbol) const;
+
+    std::vector<Module> _mods;       ///< [0] = executable
+    std::vector<size_t> _order;      ///< resolution order into _mods
+    int _vdsoIndex = -1;
+    bool _haveExecutable = false;
+    std::string _entryName = "main";
+    uint64_t _cr3 = 1;
+
+    /** Filled during link(): absolute bases per module. */
+    std::vector<uint64_t> _codeBases;
+    std::vector<uint64_t> _dataBases;
+};
+
+/** Address-space layout constants. */
+namespace layout {
+
+constexpr uint64_t exec_base = 0x400000;
+constexpr uint64_t lib_base = 0x7f0000000000ULL;
+constexpr uint64_t lib_stride = 0x10000000ULL;
+constexpr uint64_t vdso_base = 0x7ffff7ff0000ULL;
+constexpr uint64_t stack_top = 0x7ffffffff000ULL;
+constexpr uint64_t stack_size = 1ULL << 20;
+constexpr uint64_t mmap_base = 0x100000000ULL;
+constexpr uint64_t page = 0x1000;
+
+} // namespace layout
+
+} // namespace flowguard::isa
+
+#endif // FLOWGUARD_ISA_LOADER_HH

@@ -1,0 +1,23 @@
+#include "isa/module.hh"
+
+namespace flowguard::isa {
+
+const Function *
+Module::findFunction(const std::string &fname) const
+{
+    for (const auto &fn : functions)
+        if (fn.name == fname)
+            return &fn;
+    return nullptr;
+}
+
+const DataObject *
+Module::findData(const std::string &dname) const
+{
+    for (const auto &obj : data)
+        if (obj.name == dname)
+            return &obj;
+    return nullptr;
+}
+
+} // namespace flowguard::isa

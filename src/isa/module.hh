@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Pre-link program containers: modules, functions, data objects and the
+ * link-time fixups connecting them. These stand in for ELF objects; the
+ * Loader turns a set of Modules into a runnable Program, synthesizing
+ * PLT stubs and GOT slots for inter-module calls exactly as the dynamic
+ * linker would (the paper's inter-module CFG edges flow through these).
+ */
+
+#ifndef FLOWGUARD_ISA_MODULE_HH
+#define FLOWGUARD_ISA_MODULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/insts.hh"
+
+namespace flowguard::isa {
+
+/** ELF-like module classes; Vdso symbols take resolution precedence. */
+enum class ModuleKind : uint8_t { Executable, SharedLib, Vdso };
+
+/**
+ * Relocation inside a data object: at `offset`, store the absolute
+ * run-time address of `symbol` (8 bytes, little endian). Function-
+ * pointer dispatch tables are built from these, and the static analysis
+ * reads them back to enumerate address-taken functions.
+ */
+struct DataReloc
+{
+    uint64_t offset = 0;
+    std::string symbol;
+    /**
+     * When true the symbol is resolved in global interposition order
+     * (used for GOT slots); otherwise same-module definitions win
+     * (used for e.g. static function-pointer tables).
+     */
+    bool global = false;
+};
+
+/** A named chunk of initialized data in a module's data segment. */
+struct DataObject
+{
+    std::string name;
+    bool exported = false;
+    uint64_t offset = 0;            ///< within the module data segment
+    std::vector<uint8_t> bytes;
+    std::vector<DataReloc> relocs;
+};
+
+/** Which instruction field a fixup patches. */
+enum class FixupField : uint8_t { Target, Imm };
+
+/** Link-time fixup kinds left unresolved by the ModuleBuilder. */
+enum class FixupKind : uint8_t {
+    AddCodeBase,    ///< field += module code base (local code address)
+    AddDataBase,    ///< field += module data base (local data address)
+    PltCall,        ///< target = this module's PLT stub for `symbol`
+    ExtFuncAddr,    ///< field = resolved address of external function
+    ExtDataAddr,    ///< field = resolved address of external data
+};
+
+/** One link-time fixup on one instruction operand. */
+struct Fixup
+{
+    uint32_t instIndex = 0;
+    FixupKind kind = FixupKind::AddCodeBase;
+    FixupField field = FixupField::Target;
+    std::string symbol;
+};
+
+/** A contiguous run of instructions with a named entry point. */
+struct Function
+{
+    std::string name;
+    bool exported = false;
+    bool isPltStub = false;
+    uint32_t firstInst = 0;
+    uint32_t numInsts = 0;
+    uint64_t offset = 0;            ///< entry offset within code segment
+};
+
+/**
+ * Analysis hint standing in for Dyninst's jump-table pattern matching:
+ * the JmpInd at module-relative `instOffset` dispatches through the
+ * data object `table`, reading `count` 8-byte function pointers.
+ */
+struct JumpTableHint
+{
+    uint64_t instOffset = 0;
+    std::string table;
+    uint32_t count = 0;
+};
+
+/** A pre-link module: code, data, exports, DT_NEEDED list, fixups. */
+struct Module
+{
+    std::string name;
+    ModuleKind kind = ModuleKind::Executable;
+
+    std::vector<Instruction> code;
+    std::vector<uint64_t> instOffsets;  ///< module-relative, per inst
+    std::vector<Function> functions;
+    std::vector<DataObject> data;
+    std::vector<Fixup> fixups;
+    std::vector<std::string> needed;    ///< DT_NEEDED order
+    std::vector<JumpTableHint> jumpTables;
+
+    uint64_t codeSize = 0;
+    uint64_t dataSize = 0;
+
+    /** Finds a function by name, or nullptr. */
+    const Function *findFunction(const std::string &fname) const;
+
+    /** Finds a data object by name, or nullptr. */
+    const DataObject *findData(const std::string &dname) const;
+};
+
+} // namespace flowguard::isa
+
+#endif // FLOWGUARD_ISA_MODULE_HH

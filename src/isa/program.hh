@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Program — a fully linked, runnable image.
+ *
+ * Produced by the Loader from a set of Modules. Holds the flattened
+ * instruction stream with absolute addresses, per-module code/data
+ * ranges, the resolved symbol tables, the initial data image (GOT
+ * slots and function-pointer tables already relocated), and the stack
+ * layout. Code is immutable once linked (the W^X assumption of the
+ * paper's threat model); the CPU copies `initialData()` into its
+ * mutable memory at process start.
+ */
+
+#ifndef FLOWGUARD_ISA_PROGRAM_HH
+#define FLOWGUARD_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/insts.hh"
+#include "isa/module.hh"
+
+namespace flowguard::isa {
+
+/** A module after loading: absolute ranges plus symbol tables. */
+struct LoadedModule
+{
+    std::string name;
+    ModuleKind kind = ModuleKind::Executable;
+    uint64_t codeBase = 0;
+    uint64_t codeEnd = 0;
+    uint64_t dataBase = 0;
+    uint64_t dataEnd = 0;
+    std::unordered_map<std::string, uint64_t> funcAddrs;
+    std::unordered_map<std::string, uint64_t> dataAddrs;
+};
+
+/** A function after loading, with absolute [entry, end) code range. */
+struct LoadedFunction
+{
+    std::string name;
+    uint32_t moduleIndex = 0;
+    bool exported = false;
+    bool isPltStub = false;
+    uint64_t entry = 0;
+    uint64_t end = 0;
+    uint32_t firstInst = 0;
+    uint32_t numInsts = 0;
+};
+
+/** Jump-table hint with addresses resolved (see JumpTableHint). */
+struct LoadedJumpTable
+{
+    uint64_t jmpAddr = 0;
+    uint64_t tableAddr = 0;
+    uint32_t count = 0;
+};
+
+/** One relocated initial-data region. */
+struct DataImage
+{
+    uint64_t addr = 0;
+    std::vector<uint8_t> bytes;
+};
+
+class Program
+{
+  public:
+    /** Decoded instruction at `addr`, or nullptr if not code. */
+    const Instruction *fetch(uint64_t addr) const;
+
+    /** Index of the module whose code range contains `addr`, or -1. */
+    int moduleIndexAt(uint64_t addr) const;
+
+    /** Function whose [entry, end) contains `addr`, or nullptr. */
+    const LoadedFunction *functionAt(uint64_t addr) const;
+
+    /** True if `addr` falls inside any module's code range. */
+    bool isCode(uint64_t addr) const;
+
+    /** Flat instruction index at `addr`, if `addr` is code. */
+    std::optional<uint32_t> instIndexAt(uint64_t addr) const;
+
+    /** Address of the instruction following the one at `addr`. */
+    uint64_t nextAddr(uint64_t addr) const;
+
+    const std::vector<LoadedModule> &modules() const { return _modules; }
+    const std::vector<LoadedFunction> &functions() const
+    {
+        return _functions;
+    }
+    const std::vector<LoadedJumpTable> &jumpTables() const
+    {
+        return _jumpTables;
+    }
+    const std::vector<DataImage> &initialData() const
+    {
+        return _initialData;
+    }
+
+    size_t numInsts() const { return _insts.size(); }
+    const Instruction &inst(size_t index) const { return _insts[index]; }
+    uint64_t instAddr(size_t index) const { return _instAddrs[index]; }
+    uint32_t instModule(size_t index) const { return _instModule[index]; }
+
+    uint64_t entry() const { return _entry; }
+    uint64_t stackTop() const { return _stackTop; }
+    uint64_t stackSize() const { return _stackSize; }
+    /** Process "CR3" — the page-table base the trace filter keys on. */
+    uint64_t cr3() const { return _cr3; }
+
+    /** Address of function `func` in module `mod` (fatal if absent). */
+    uint64_t funcAddr(const std::string &mod,
+                      const std::string &func) const;
+
+    /** Address of data object `obj` in module `mod` (fatal if absent). */
+    uint64_t dataAddr(const std::string &mod,
+                      const std::string &obj) const;
+
+  private:
+    friend class Loader;
+
+    std::vector<Instruction> _insts;
+    std::vector<uint64_t> _instAddrs;      ///< parallel to _insts, sorted
+    std::vector<uint32_t> _instModule;     ///< parallel to _insts
+    std::unordered_map<uint64_t, uint32_t> _addrToInst;
+
+    std::vector<LoadedModule> _modules;
+    std::vector<LoadedFunction> _functions;  ///< sorted by entry
+    std::vector<LoadedJumpTable> _jumpTables;
+    std::vector<DataImage> _initialData;
+
+    uint64_t _entry = 0;
+    uint64_t _stackTop = 0;
+    uint64_t _stackSize = 0;
+    uint64_t _cr3 = 0;
+};
+
+} // namespace flowguard::isa
+
+#endif // FLOWGUARD_ISA_PROGRAM_HH

@@ -1,0 +1,28 @@
+#include "isa/syscalls.hh"
+
+namespace flowguard::isa {
+
+const char *
+syscallName(int64_t number)
+{
+    switch (static_cast<Syscall>(number)) {
+      case Syscall::Read: return "read";
+      case Syscall::Write: return "write";
+      case Syscall::Open: return "open";
+      case Syscall::Close: return "close";
+      case Syscall::Mmap: return "mmap";
+      case Syscall::Mprotect: return "mprotect";
+      case Syscall::Sigaction: return "sigaction";
+      case Syscall::Sigreturn: return "sigreturn";
+      case Syscall::Execve: return "execve";
+      case Syscall::Exit: return "exit";
+      case Syscall::Gettimeofday: return "gettimeofday";
+      case Syscall::Socket: return "socket";
+      case Syscall::Accept: return "accept";
+      case Syscall::Send: return "send";
+      case Syscall::Recv: return "recv";
+    }
+    return "unknown";
+}
+
+} // namespace flowguard::isa

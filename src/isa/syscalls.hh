@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Syscall numbers understood by the kernel simulator. Values follow the
+ * Linux x86-64 ABI where one exists, since the paper's endpoint set is
+ * expressed in terms of Linux syscalls.
+ */
+
+#ifndef FLOWGUARD_ISA_SYSCALLS_HH
+#define FLOWGUARD_ISA_SYSCALLS_HH
+
+#include <cstdint>
+
+namespace flowguard::isa {
+
+enum class Syscall : int64_t {
+    Read = 0,
+    Write = 1,
+    Open = 2,
+    Close = 3,
+    Mmap = 9,
+    Mprotect = 10,
+    Sigaction = 13,
+    Sigreturn = 15,
+    Execve = 59,
+    Exit = 60,
+    Gettimeofday = 96,
+    Socket = 41,
+    Accept = 43,
+    Send = 44,
+    Recv = 45,
+};
+
+/** Human-readable syscall name ("write", "mprotect", ...). */
+const char *syscallName(int64_t number);
+
+} // namespace flowguard::isa
+
+#endif // FLOWGUARD_ISA_SYSCALLS_HH

@@ -1,0 +1,70 @@
+#include "runtime/baselines.hh"
+
+#include "isa/insts.hh"
+
+namespace flowguard::runtime {
+
+using cpu::BranchKind;
+using isa::Instruction;
+using isa::Opcode;
+
+bool
+isCallPreceded(const isa::Program &program, uint64_t target)
+{
+    // Variable-length encoding: probe both call sizes.
+    const Instruction *direct =
+        program.fetch(target - isa::instSize(Opcode::Call));
+    if (direct && direct->op == Opcode::Call)
+        return true;
+    const Instruction *indirect =
+        program.fetch(target - isa::instSize(Opcode::CallInd));
+    return indirect && indirect->op == Opcode::CallInd;
+}
+
+bool
+kbouncerCheck(const isa::Program &program,
+              const std::vector<trace::LbrEntry> &snapshot)
+{
+    for (const auto &entry : snapshot) {
+        if (entry.kind != BranchKind::Return)
+            continue;
+        if (!isCallPreceded(program, entry.to))
+            return false;
+    }
+    return true;
+}
+
+bool
+ropeckerCheck(const isa::Program &program,
+              const std::vector<trace::LbrEntry> &snapshot,
+              size_t max_chain)
+{
+    auto gadget_like = [&](uint64_t target) {
+        uint64_t addr = target;
+        for (int i = 0; i < 5; ++i) {
+            const Instruction *inst = program.fetch(addr);
+            if (!inst)
+                return false;
+            if (inst->isCofi())
+                return true;    // reaches a CoFI quickly: gadget-like
+            addr += isa::instSize(inst->op);
+        }
+        return false;
+    };
+
+    size_t chain = 0;
+    for (const auto &entry : snapshot) {
+        const bool indirect = entry.kind == BranchKind::Return ||
+            entry.kind == BranchKind::IndirectJump ||
+            entry.kind == BranchKind::IndirectCall;
+        if (indirect && gadget_like(entry.to)) {
+            if (++chain >= max_chain)
+                return false;
+        } else {
+            chain = 0;
+        }
+    }
+    return true;
+}
+
+} // namespace flowguard::runtime

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * LBR-heuristic baseline defenses (kBouncer [18] / ROPecker [19]
+ * style), used by the security comparison experiments.
+ *
+ * kBouncer-style: at an endpoint, every return recorded in the LBR
+ * must target a call-preceded address. ROPecker-style adds a chain
+ * heuristic: too many consecutive indirect transfers into short
+ * gadget-like snippets is flagged. Both are exactly the checks the
+ * history-flushing attack of Carlini & Wagner [35] evades, because
+ * the LBR only holds the most recent 16 branches.
+ */
+
+#ifndef FLOWGUARD_RUNTIME_BASELINES_HH
+#define FLOWGUARD_RUNTIME_BASELINES_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+#include "trace/lbr.hh"
+
+namespace flowguard::runtime {
+
+/** True if `target` directly follows a call instruction. */
+bool isCallPreceded(const isa::Program &program, uint64_t target);
+
+/**
+ * kBouncer-style check over an LBR snapshot.
+ * @retval true  the snapshot looks benign (attack missed or absent)
+ * @retval false a return to a non-call-preceded address was seen
+ */
+bool kbouncerCheck(const isa::Program &program,
+                   const std::vector<trace::LbrEntry> &snapshot);
+
+/**
+ * ROPecker-style chain heuristic: flags `max_chain` or more
+ * consecutive indirect branches whose targets begin gadget-like
+ * snippets (a CoFI within a few instructions).
+ * @retval true benign
+ */
+bool ropeckerCheck(const isa::Program &program,
+                   const std::vector<trace::LbrEntry> &snapshot,
+                   size_t max_chain = 6);
+
+} // namespace flowguard::runtime
+
+#endif // FLOWGUARD_RUNTIME_BASELINES_HH

@@ -1,0 +1,121 @@
+#include "runtime/fast_path.hh"
+
+#include <set>
+
+namespace flowguard::runtime {
+
+FastPathChecker::FastPathChecker(const analysis::ItcCfg &itc,
+                                 const isa::Program &program,
+                                 FastPathConfig config,
+                                 cpu::CycleAccount *account,
+                                 const analysis::PathIndex *paths)
+    : _itc(itc), _program(program), _config(config), _account(account),
+      _paths(paths)
+{}
+
+FastPathResult
+FastPathChecker::check(const std::vector<uint8_t> &packets) const
+{
+    auto flow = decode::decodeRecentTips(packets, _config.pktCount,
+                                         _account);
+    auto transitions = decode::extractTipTransitions(flow);
+    return checkTransitions(transitions);
+}
+
+FastPathResult
+FastPathChecker::checkTransitions(
+    const std::vector<decode::TipTransition> &all) const
+{
+    FastPathResult result;
+
+    // --- select the window: walk backwards until pkt_count TIPs are
+    // covered, the window strides >= 2 modules, and the executable is
+    // represented (when enough history exists to satisfy that).
+    size_t begin = all.size();
+    std::set<int> modules;
+    bool exec_seen = false;
+    size_t tips = 0;
+    while (begin > 0) {
+        const bool quota =
+            tips >= _config.pktCount &&
+            (!_config.requireModuleStride ||
+             (modules.size() >= 2 && exec_seen));
+        if (quota)
+            break;
+        --begin;
+        ++tips;
+        const int module = _program.moduleIndexAt(all[begin].to);
+        modules.insert(module);
+        if (module >= 0 &&
+            _program.modules()[static_cast<size_t>(module)].kind ==
+                isa::ModuleKind::Executable)
+            exec_seen = true;
+    }
+
+    // --- match each transition against the ITC-CFG -----------------------
+    // The decode window opens at a PSB that can fall between two TIPs,
+    // truncating the conditional-outcome run of the first edge; its
+    // TNT information is therefore unusable (the edge itself is still
+    // checked).
+    const size_t tnt_valid_from = 2;
+    for (size_t i = begin; i < all.size(); ++i) {
+        const auto &transition = all[i];
+        ++result.tipsChecked;
+        if (_account)
+            _account->check += cpu::cost::check_per_edge;
+
+        if (transition.from == 0) {
+            // Window head: only the target can be validated.
+            if (_itc.findNode(transition.to) < 0) {
+                result.verdict = CheckVerdict::Violation;
+                result.violatingTo = transition.to;
+                return result;
+            }
+            continue;
+        }
+
+        const int64_t edge =
+            _itc.findEdge(transition.from, transition.to);
+        if (edge < 0) {
+            result.verdict = CheckVerdict::Violation;
+            result.violatingFrom = transition.from;
+            result.violatingTo = transition.to;
+            return result;
+        }
+        ++result.edgesChecked;
+
+        bool credible = _itc.highCredit(edge);
+        if (credible && i >= tnt_valid_from &&
+            !_itc.tntCompatible(edge, transition.tnt)) {
+            credible = false;
+            ++result.tntMismatches;
+        }
+        if (credible)
+            ++result.highCreditEdges;
+    }
+
+    // Context-sensitive mode: the window must also be made of
+    // trained TIP n-grams (path matching, §7.1.2). Mimicry chains of
+    // individually high-credit edges in a novel order fail here and
+    // defer to the slow path.
+    if (_paths) {
+        std::vector<uint64_t> targets;
+        targets.reserve(all.size() - begin);
+        for (size_t i = begin; i < all.size(); ++i)
+            targets.push_back(all[i].to);
+        if (_account)
+            _account->check += cpu::cost::check_per_edge *
+                               static_cast<double>(targets.size());
+        if (!_paths->covers(targets))
+            ++result.pathMisses;
+    }
+
+    result.verdict =
+        result.observedCredRatio() >= _config.credRatio &&
+                result.pathMisses == 0
+            ? CheckVerdict::Pass
+            : CheckVerdict::Suspicious;
+    return result;
+}
+
+} // namespace flowguard::runtime

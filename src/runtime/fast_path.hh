@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The fast-path flow checker (§5.3).
+ *
+ * Packet-layer decodes the tail of the ToPA buffer, then matches each
+ * consecutive TIP pair against the credit-labeled ITC-CFG using
+ * binary search over the sorted node/target arrays. An edge missing
+ * from the graph is a violation outright (the §4.2 invariant); an
+ * edge present but carrying low credit — or TNT outcomes that differ
+ * from the training data — makes the window suspicious and defers to
+ * the slow path.
+ *
+ * Window policy per §7.1.1: at least `pkt_count` (default 30) TIPs
+ * are checked, the window must stride more than one module, and at
+ * least one checked TIP must land in the executable — defeating
+ * return-to-lib endpoint laundering and history-flushing chains.
+ */
+
+#ifndef FLOWGUARD_RUNTIME_FAST_PATH_HH
+#define FLOWGUARD_RUNTIME_FAST_PATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/itc_cfg.hh"
+#include "analysis/path_index.hh"
+#include "cpu/cost_model.hh"
+#include "decode/fast_decoder.hh"
+#include "isa/program.hh"
+
+namespace flowguard::runtime {
+
+/** Tri-state outcome of a flow check. */
+enum class CheckVerdict : uint8_t {
+    Pass,           ///< negative: no attack
+    Suspicious,     ///< fast path cannot vouch; run the slow path
+    Violation,      ///< positive: attack detected
+};
+
+struct FastPathConfig
+{
+    /** Lower bound on TIP packets checked per endpoint. */
+    size_t pktCount = 30;
+    /** Required fraction of checked edges with high credit. */
+    double credRatio = 1.0;
+    /** Enforce the >= 2 modules / executable-included rule. */
+    bool requireModuleStride = true;
+};
+
+struct FastPathResult
+{
+    CheckVerdict verdict = CheckVerdict::Pass;
+    size_t tipsChecked = 0;
+    size_t edgesChecked = 0;
+    size_t highCreditEdges = 0;
+    size_t tntMismatches = 0;
+    size_t pathMisses = 0;      ///< untrained n-grams (path mode)
+    /** The offending transition when verdict == Violation. */
+    uint64_t violatingFrom = 0;
+    uint64_t violatingTo = 0;
+
+    double
+    observedCredRatio() const
+    {
+        return edgesChecked == 0
+            ? 1.0
+            : static_cast<double>(highCreditEdges) /
+              static_cast<double>(edgesChecked);
+    }
+};
+
+class FastPathChecker
+{
+  public:
+    /**
+     * `paths`, when non-null, enables the §7.1.2 context-sensitive
+     * mode: windows must also consist of trained TIP n-grams.
+     */
+    FastPathChecker(const analysis::ItcCfg &itc,
+                    const isa::Program &program, FastPathConfig config,
+                    cpu::CycleAccount *account = nullptr,
+                    const analysis::PathIndex *paths = nullptr);
+
+    /** Checks a ToPA snapshot. */
+    FastPathResult check(const std::vector<uint8_t> &packets) const;
+
+    /** Checks pre-extracted transitions (shared with tests/benches). */
+    FastPathResult
+    checkTransitions(const std::vector<decode::TipTransition> &all)
+        const;
+
+    const FastPathConfig &config() const { return _config; }
+
+  private:
+    const analysis::ItcCfg &_itc;
+    const isa::Program &_program;
+    FastPathConfig _config;
+    cpu::CycleAccount *_account;
+    const analysis::PathIndex *_paths;
+};
+
+} // namespace flowguard::runtime
+
+#endif // FLOWGUARD_RUNTIME_FAST_PATH_HH

@@ -1,0 +1,96 @@
+#include "runtime/kernel.hh"
+
+#include "isa/syscalls.hh"
+#include "support/logging.hh"
+
+namespace flowguard::runtime {
+
+using isa::Syscall;
+
+std::set<int64_t>
+FlowGuardKernel::defaultEndpoints()
+{
+    return {
+        static_cast<int64_t>(Syscall::Execve),
+        static_cast<int64_t>(Syscall::Mmap),
+        static_cast<int64_t>(Syscall::Mprotect),
+        static_cast<int64_t>(Syscall::Sigreturn),
+        static_cast<int64_t>(Syscall::Write),
+    };
+}
+
+FlowGuardKernel::FlowGuardKernel(Config config)
+    : _config(std::move(config))
+{}
+
+void
+FlowGuardKernel::attachMonitor(Monitor &monitor,
+                               trace::IptEncoder &encoder,
+                               trace::Topa &topa,
+                               cpu::CycleAccount *account)
+{
+    _monitor = &monitor;
+    _encoder = &encoder;
+    _topa = &topa;
+    _account = account;
+}
+
+cpu::SyscallResult
+FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
+{
+    if (_config.enabled && _pmi && _pmi->violationPending() &&
+        cpu.program().cr3() == _config.protectedCr3) {
+        _pmi->acknowledge();
+        ViolationReport report;
+        report.syscall = number;
+        report.reason = "PMI window: ITC-CFG violation";
+        const auto &fast = _monitor->lastFast();
+        report.from = fast.violatingFrom;
+        report.to = fast.violatingTo;
+        _violations.push_back(std::move(report));
+        ++_kills;
+        warn("FlowGuard: PMI-detected violation — SIGKILL");
+        cpu::SyscallResult result;
+        result.action = cpu::SyscallResult::Action::Kill;
+        return result;
+    }
+
+    const bool intercept = _config.enabled && _monitor &&
+        _config.endpoints.count(number) &&
+        cpu.program().cr3() == _config.protectedCr3;
+
+    if (intercept) {
+        ++_endpointHits;
+        if (_account)
+            _account->other += cpu::cost::intercept_per_syscall;
+
+        _encoder->flushTnt();
+        const CheckVerdict verdict =
+            _monitor->check(_topa->snapshot());
+        if (verdict == CheckVerdict::Violation) {
+            ViolationReport report;
+            report.syscall = number;
+            const auto &fast = _monitor->lastFast();
+            const auto &slow = _monitor->lastSlow();
+            if (fast.verdict == CheckVerdict::Violation) {
+                report.from = fast.violatingFrom;
+                report.to = fast.violatingTo;
+                report.reason = "fast path: ITC-CFG edge mismatch";
+            } else {
+                report.from = slow.violatingSource;
+                report.to = slow.violatingTarget;
+                report.reason = "slow path: " + slow.reason;
+            }
+            _violations.push_back(std::move(report));
+            ++_kills;
+            warn("FlowGuard: control flow violation at ",
+                 isa::syscallName(number), " — SIGKILL");
+            cpu::SyscallResult result;
+            result.action = cpu::SyscallResult::Action::Kill;
+            return result;
+        }
+    }
+    return dispatch(cpu, number);
+}
+
+} // namespace flowguard::runtime

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * FlowGuardKernel — the kernel-module half of FlowGuard (§5.2).
+ *
+ * Interposes on the syscall table: when a security-sensitive syscall
+ * is issued by the protected process (matched by CR3), flow checking
+ * is triggered before the original handler runs. On a violation the
+ * process receives SIGKILL and the event is logged for the
+ * administrator; everything else forwards to the plain kernel
+ * services (BasicKernel).
+ */
+
+#ifndef FLOWGUARD_RUNTIME_KERNEL_HH
+#define FLOWGUARD_RUNTIME_KERNEL_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cpu/basic_kernel.hh"
+#include "runtime/monitor.hh"
+#include "runtime/pmi.hh"
+#include "trace/ipt.hh"
+
+namespace flowguard::runtime {
+
+/** One logged detection, the report "to administrators or users". */
+struct ViolationReport
+{
+    int64_t syscall = 0;
+    uint64_t from = 0;
+    uint64_t to = 0;
+    std::string reason;
+};
+
+class FlowGuardKernel : public cpu::BasicKernel
+{
+  public:
+    struct Config
+    {
+        std::set<int64_t> endpoints = defaultEndpoints();
+        uint64_t protectedCr3 = 0;
+        bool enabled = true;
+    };
+
+    /**
+     * The paper's default endpoint set (the PathArmor sensitive
+     * syscalls): execve, mmap, mprotect, sigreturn and write.
+     */
+    static std::set<int64_t> defaultEndpoints();
+
+    explicit FlowGuardKernel(Config config);
+
+    /**
+     * Wires the checking engine to the tracing hardware of the
+     * protected process. Must be called before endpoints fire.
+     */
+    void attachMonitor(Monitor &monitor, trace::IptEncoder &encoder,
+                       trace::Topa &topa,
+                       cpu::CycleAccount *account = nullptr);
+
+    /**
+     * Enables the §7.1.2 fallback: PMI-window violations detected by
+     * `pmi` are delivered as SIGKILL at the process's next syscall —
+     * the earliest moment the kernel regains control in this model.
+     */
+    void attachPmi(PmiGuard &pmi) { _pmi = &pmi; }
+
+    cpu::SyscallResult onSyscall(cpu::Cpu &cpu,
+                                 int64_t number) override;
+
+    uint64_t endpointHits() const { return _endpointHits; }
+    uint64_t kills() const { return _kills; }
+    const std::vector<ViolationReport> &violations() const
+    {
+        return _violations;
+    }
+
+  private:
+    Config _config;
+    Monitor *_monitor = nullptr;
+    PmiGuard *_pmi = nullptr;
+    trace::IptEncoder *_encoder = nullptr;
+    trace::Topa *_topa = nullptr;
+    cpu::CycleAccount *_account = nullptr;
+    uint64_t _endpointHits = 0;
+    uint64_t _kills = 0;
+    std::vector<ViolationReport> _violations;
+};
+
+} // namespace flowguard::runtime
+
+#endif // FLOWGUARD_RUNTIME_KERNEL_HH

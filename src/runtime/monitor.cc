@@ -1,0 +1,91 @@
+#include "runtime/monitor.hh"
+
+#include "decode/fast_decoder.hh"
+
+namespace flowguard::runtime {
+
+Monitor::Monitor(const isa::Program &program, analysis::ItcCfg &itc,
+                 const analysis::Cfg &ocfg,
+                 const analysis::TypeArmorInfo &typearmor,
+                 MonitorConfig config, cpu::CycleAccount *account,
+                 analysis::PathIndex *paths)
+    : _program(program), _itc(itc), _config(config), _account(account),
+      _paths(paths),
+      _fast(itc, program, config.fastPath, account, paths),
+      _slow(ocfg, typearmor, account)
+{}
+
+CheckVerdict
+Monitor::checkFull(const std::vector<uint8_t> &packets)
+{
+    FastPathConfig full_config = _config.fastPath;
+    full_config.pktCount = SIZE_MAX;
+    full_config.requireModuleStride = false;
+    FastPathChecker full(_itc, _program, full_config, _account,
+                         _paths);
+    return finishCheck(full.check(packets), packets);
+}
+
+CheckVerdict
+Monitor::check(const std::vector<uint8_t> &packets)
+{
+    return finishCheck(_fast.check(packets), packets);
+}
+
+CheckVerdict
+Monitor::finishCheck(FastPathResult fast,
+                     const std::vector<uint8_t> &packets)
+{
+    ++_stats.checks;
+    _lastFast = std::move(fast);
+    _stats.tipsChecked += _lastFast.tipsChecked;
+    _stats.edgesChecked += _lastFast.edgesChecked;
+    _stats.highCreditEdges += _lastFast.highCreditEdges;
+
+    if (_lastFast.verdict == CheckVerdict::Pass) {
+        ++_stats.fastPass;
+        return CheckVerdict::Pass;
+    }
+    if (_lastFast.verdict == CheckVerdict::Violation) {
+        ++_stats.violations;
+        return CheckVerdict::Violation;
+    }
+
+    // Suspicious: upcall into the slow-path engine.
+    ++_stats.slowChecks;
+    _lastSlow = _slow.check(packets);
+    if (_lastSlow.verdict == CheckVerdict::Violation) {
+        ++_stats.violations;
+        return CheckVerdict::Violation;
+    }
+    ++_stats.slowPass;
+
+    if (_config.cacheSlowPathVerdicts) {
+        // The slow path vouched for this window; promote its edges so
+        // the fast path handles recurrences alone (§7.1.1). A wrapped
+        // ToPA snapshot starts mid-packet, so sync at the first PSB.
+        auto flow = decode::decodeRecentTips(
+            packets.data(), packets.size(), packets.size());
+        auto transitions = decode::extractTipTransitions(flow);
+        if (_paths) {
+            std::vector<uint64_t> targets;
+            targets.reserve(transitions.size());
+            for (const auto &transition : transitions)
+                targets.push_back(transition.to);
+            _paths->observe(targets);
+        }
+        for (const auto &transition : transitions) {
+            if (transition.from == 0)
+                continue;
+            const int64_t edge =
+                _itc.findEdge(transition.from, transition.to);
+            if (edge < 0)
+                continue;
+            _itc.setHighCredit(edge);
+            _itc.addTntSequence(edge, transition.tnt);
+        }
+    }
+    return CheckVerdict::Pass;
+}
+
+} // namespace flowguard::runtime

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Monitor — the hybrid flow-checking engine (§3.2, §5.3): fast path
+ * first; suspicious windows escalate to the slow path; negative slow
+ * path verdicts are cached back into the ITC-CFG credits so the same
+ * window passes the fast path next time (§7.1.1).
+ */
+
+#ifndef FLOWGUARD_RUNTIME_MONITOR_HH
+#define FLOWGUARD_RUNTIME_MONITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/itc_cfg.hh"
+#include "analysis/typearmor.hh"
+#include "runtime/fast_path.hh"
+#include "runtime/slow_path.hh"
+
+namespace flowguard::runtime {
+
+struct MonitorConfig
+{
+    FastPathConfig fastPath;
+    /** Label slow-path-approved transitions as high credit. */
+    bool cacheSlowPathVerdicts = true;
+};
+
+struct MonitorStats
+{
+    uint64_t checks = 0;
+    uint64_t fastPass = 0;
+    uint64_t slowChecks = 0;
+    uint64_t slowPass = 0;
+    uint64_t violations = 0;
+    uint64_t tipsChecked = 0;
+    uint64_t edgesChecked = 0;
+    uint64_t highCreditEdges = 0;
+
+    /** Fraction of checks resolved without the slow path. */
+    double
+    fastPathRate() const
+    {
+        return checks == 0
+            ? 1.0
+            : static_cast<double>(checks - slowChecks) /
+              static_cast<double>(checks);
+    }
+
+    /** Observed high-credit edge ratio across all checks. */
+    double
+    credRatio() const
+    {
+        return edgesChecked == 0
+            ? 1.0
+            : static_cast<double>(highCreditEdges) /
+              static_cast<double>(edgesChecked);
+    }
+};
+
+class Monitor
+{
+  public:
+    /** `paths` (optional) enables path-sensitive fast checking;
+     *  verdict caching also feeds it. */
+    Monitor(const isa::Program &program, analysis::ItcCfg &itc,
+            const analysis::Cfg &ocfg,
+            const analysis::TypeArmorInfo &typearmor,
+            MonitorConfig config = {},
+            cpu::CycleAccount *account = nullptr,
+            analysis::PathIndex *paths = nullptr);
+
+    /** Runs the hybrid check over a ToPA snapshot. */
+    CheckVerdict check(const std::vector<uint8_t> &packets);
+
+    /**
+     * §5.2 PMI variant: checks *all* packets in the interrupted
+     * region rather than the last pkt_count TIPs — the buffer is
+     * about to be overwritten, so everything in it is examined once.
+     */
+    CheckVerdict checkFull(const std::vector<uint8_t> &packets);
+
+    const MonitorStats &stats() const { return _stats; }
+    const FastPathResult &lastFast() const { return _lastFast; }
+    const SlowPathResult &lastSlow() const { return _lastSlow; }
+
+  private:
+    CheckVerdict finishCheck(FastPathResult fast,
+                             const std::vector<uint8_t> &packets);
+
+    const isa::Program &_program;
+    analysis::ItcCfg &_itc;
+    MonitorConfig _config;
+    cpu::CycleAccount *_account;
+    analysis::PathIndex *_paths;
+    FastPathChecker _fast;
+    SlowPathChecker _slow;
+    MonitorStats _stats;
+    FastPathResult _lastFast;
+    SlowPathResult _lastSlow;
+};
+
+} // namespace flowguard::runtime
+
+#endif // FLOWGUARD_RUNTIME_MONITOR_HH

@@ -1,0 +1,29 @@
+#include "runtime/pmi.hh"
+
+namespace flowguard::runtime {
+
+PmiGuard::PmiGuard(Monitor &monitor, trace::IptEncoder &encoder,
+                   trace::Topa &topa, cpu::CycleAccount *account)
+    : _monitor(monitor), _encoder(encoder), _topa(topa),
+      _account(account)
+{
+    _topa.setPmiCallback([this] { onPmi(); });
+}
+
+void
+PmiGuard::onPmi()
+{
+    ++_pmis;
+    if (_account)
+        _account->other += cpu::cost::intercept_per_syscall;
+    // The PMI fires from inside the encoder's own ToPA write, so the
+    // encoder must not be re-entered here (no TNT flush): at most six
+    // buffered conditional outcomes are deferred to the next window,
+    // which the checker's head-truncation handling already tolerates.
+    (void)_encoder;
+    if (_monitor.checkFull(_topa.snapshot()) ==
+        CheckVerdict::Violation)
+        _violation = true;
+}
+
+} // namespace flowguard::runtime

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * PMI-driven periodic checking (§7.1.2 "Endpoints bypassing").
+ *
+ * Syscall endpoints can in principle be pruned by an attacker who
+ * reaches their goal without touching a sensitive syscall. As the
+ * paper notes, the fallback is to treat the buffer-full performance
+ * monitoring interrupt as an endpoint: whenever the ToPA's last
+ * region fills, the kernel checks the freshly captured window before
+ * tracing wraps over it. This trades overhead (checks scale with
+ * trace volume, not syscall rate) for endpoint-independence.
+ *
+ * PmiGuard wires a Topa's PMI callback to a Monitor and keeps the
+ * same verdict discipline as the syscall path: on violation the
+ * process is flagged and the hosting kernel delivers SIGKILL at the
+ * next controllable boundary.
+ */
+
+#ifndef FLOWGUARD_RUNTIME_PMI_HH
+#define FLOWGUARD_RUNTIME_PMI_HH
+
+#include <cstdint>
+
+#include "runtime/monitor.hh"
+#include "trace/ipt.hh"
+
+namespace flowguard::runtime {
+
+class PmiGuard
+{
+  public:
+    /**
+     * Arms the PMI: `topa`'s buffer-full callback now triggers a
+     * monitor check over the full buffer. The encoder is needed to
+     * flush buffered TNT bits before decoding.
+     */
+    PmiGuard(Monitor &monitor, trace::IptEncoder &encoder,
+             trace::Topa &topa, cpu::CycleAccount *account = nullptr);
+
+    /** True once any PMI window failed the check. */
+    bool violationPending() const { return _violation; }
+
+    /** Clears the pending flag (after the kill was delivered). */
+    void acknowledge() { _violation = false; }
+
+    uint64_t pmiCount() const { return _pmis; }
+
+  private:
+    void onPmi();
+
+    Monitor &_monitor;
+    trace::IptEncoder &_encoder;
+    trace::Topa &_topa;
+    cpu::CycleAccount *_account;
+    bool _violation = false;
+    uint64_t _pmis = 0;
+};
+
+} // namespace flowguard::runtime
+
+#endif // FLOWGUARD_RUNTIME_PMI_HH

@@ -1,0 +1,161 @@
+#include "runtime/slow_path.hh"
+
+#include "decode/fast_decoder.hh"
+#include "decode/full_decoder.hh"
+
+namespace flowguard::runtime {
+
+using cpu::BranchKind;
+
+SlowPathChecker::SlowPathChecker(const analysis::Cfg &ocfg,
+                                 const analysis::TypeArmorInfo &typearmor,
+                                 cpu::CycleAccount *account)
+    : _ocfg(ocfg), _ta(typearmor), _account(account)
+{}
+
+bool
+SlowPathChecker::returnAllowedByCfg(uint64_t source,
+                                    uint64_t target) const
+{
+    auto from = _ocfg.blockContaining(source);
+    auto to = _ocfg.blockAt(target);
+    if (!from || !to)
+        return false;
+    for (uint32_t e : _ocfg.outEdges(*from)) {
+        const analysis::Edge &edge = _ocfg.edges()[e];
+        if (edge.to == *to && edge.kind == analysis::EdgeKind::Return)
+            return true;
+    }
+    return false;
+}
+
+bool
+SlowPathChecker::indirectJumpAllowed(uint64_t source,
+                                     uint64_t target) const
+{
+    auto from = _ocfg.blockContaining(source);
+    auto to = _ocfg.blockAt(target);
+    if (!from || !to)
+        return false;
+    for (uint32_t e : _ocfg.outEdges(*from)) {
+        const analysis::Edge &edge = _ocfg.edges()[e];
+        if (edge.to == *to &&
+            edge.kind == analysis::EdgeKind::IndirectJump)
+            return true;
+    }
+    return false;
+}
+
+bool
+SlowPathChecker::indirectCallAllowed(uint64_t source,
+                                     uint64_t target) const
+{
+    const isa::Program &program = _ocfg.program();
+    const isa::LoadedFunction *callee = program.functionAt(target);
+    if (!callee || callee->entry != target)
+        return false;   // calls may only land on function entries
+    const size_t index = static_cast<size_t>(
+        callee - program.functions().data());
+    if (!_ta.addressTaken[index])
+        return false;
+    uint8_t prepared = 6;
+    if (auto it = _ta.preparedCount.find(source);
+        it != _ta.preparedCount.end())
+        prepared = it->second;
+    return analysis::TypeArmorInfo::callAllowed(
+        prepared, _ta.consumedCount[index]);
+}
+
+SlowPathResult
+SlowPathChecker::check(const std::vector<uint8_t> &packets) const
+{
+    SlowPathResult result;
+    // Anchor the expensive instruction-flow decode at the most recent
+    // PSB whose suffix still covers ~100 TIP packets (the paper's
+    // §7.2.2 context-sensitive analysis window), instead of paying
+    // for the entire ToPA buffer.
+    constexpr size_t slow_window_tips = 100;
+    auto window =
+        decode::decodeRecentTips(packets.data(), packets.size(),
+                                 slow_window_tips, nullptr);
+    auto flow = decode::decodeInstructionFlow(
+        _ocfg.program(), packets.data() + window.startOffset,
+        packets.size() - static_cast<size_t>(window.startOffset),
+        _account);
+    result.instructionsWalked = flow.instructionsWalked;
+
+    using Status = decode::FullDecodeResult::Status;
+    if (flow.status == Status::Desync || flow.status == Status::BadFlow) {
+        // The packets cannot be reconciled with the binaries at all:
+        // the flow left the program's legitimate instruction stream.
+        result.verdict = CheckVerdict::Violation;
+        result.reason = "decode failed: " + flow.error;
+        return result;
+    }
+    if (flow.status == Status::NoSync) {
+        // Nothing decodable in the window; no evidence either way.
+        result.verdict = CheckVerdict::Pass;
+        result.reason = "no sync point in window";
+        return result;
+    }
+
+    std::vector<uint64_t> shadow;   // return addresses
+    auto fail = [&](uint64_t src, uint64_t dst, const char *why) {
+        result.verdict = CheckVerdict::Violation;
+        result.violatingSource = src;
+        result.violatingTarget = dst;
+        result.reason = why;
+    };
+
+    for (const auto &branch : flow.branches) {
+        ++result.branchesChecked;
+        if (_account)
+            _account->check += cpu::cost::slow_check_per_branch;
+        switch (branch.kind) {
+          case BranchKind::DirectCall:
+          case BranchKind::IndirectCall: {
+            const uint64_t ret_addr =
+                _ocfg.program().nextAddr(branch.source);
+            shadow.push_back(ret_addr);
+            if (branch.kind == BranchKind::IndirectCall &&
+                !indirectCallAllowed(branch.source, branch.target)) {
+                fail(branch.source, branch.target,
+                     "forward-edge violation (TypeArmor)");
+                return result;
+            }
+            break;
+          }
+          case BranchKind::Return: {
+            if (!shadow.empty()) {
+                const uint64_t expected = shadow.back();
+                shadow.pop_back();
+                if (branch.target != expected) {
+                    fail(branch.source, branch.target,
+                         "shadow-stack violation");
+                    return result;
+                }
+            } else if (!returnAllowedByCfg(branch.source,
+                                           branch.target)) {
+                // Underflow: the matching call predates the window;
+                // fall back to conservative call/return matching.
+                fail(branch.source, branch.target,
+                     "return outside call/return matching");
+                return result;
+            }
+            break;
+          }
+          case BranchKind::IndirectJump:
+            if (!indirectJumpAllowed(branch.source, branch.target)) {
+                fail(branch.source, branch.target,
+                     "indirect jump outside O-CFG");
+                return result;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace flowguard::runtime

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The slow-path flow checker (§5.3): full instruction-flow decode
+ * against the binaries, then precise policy enforcement.
+ *
+ * Backward edges: a shadow stack is maintained from the decoded flow;
+ * every return must match the top of stack (single-target policy).
+ * Returns that underflow the window's knowledge fall back to O-CFG
+ * call/return matching — still conservative, never a false positive.
+ *
+ * Forward edges: every indirect call must target an address-taken
+ * function entry whose consumed arity fits the site's prepared arity
+ * (TypeArmor); every indirect jump must follow an O-CFG edge.
+ */
+
+#ifndef FLOWGUARD_RUNTIME_SLOW_PATH_HH
+#define FLOWGUARD_RUNTIME_SLOW_PATH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/typearmor.hh"
+#include "cpu/cost_model.hh"
+#include "isa/program.hh"
+#include "runtime/fast_path.hh"
+
+namespace flowguard::runtime {
+
+struct SlowPathResult
+{
+    CheckVerdict verdict = CheckVerdict::Pass;
+    uint64_t branchesChecked = 0;
+    uint64_t instructionsWalked = 0;
+    uint64_t violatingSource = 0;
+    uint64_t violatingTarget = 0;
+    std::string reason;
+};
+
+class SlowPathChecker
+{
+  public:
+    SlowPathChecker(const analysis::Cfg &ocfg,
+                    const analysis::TypeArmorInfo &typearmor,
+                    cpu::CycleAccount *account = nullptr);
+
+    /** Full-decodes and checks a ToPA snapshot. */
+    SlowPathResult check(const std::vector<uint8_t> &packets) const;
+
+  private:
+    bool returnAllowedByCfg(uint64_t source, uint64_t target) const;
+    bool indirectJumpAllowed(uint64_t source, uint64_t target) const;
+    bool indirectCallAllowed(uint64_t source, uint64_t target) const;
+
+    const analysis::Cfg &_ocfg;
+    const analysis::TypeArmorInfo &_ta;
+    cpu::CycleAccount *_account;
+};
+
+} // namespace flowguard::runtime
+
+#endif // FLOWGUARD_RUNTIME_SLOW_PATH_HH

@@ -1,0 +1,63 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+
+namespace flowguard {
+
+namespace {
+
+bool errors_throw = true;
+bool log_verbose = false;
+
+} // namespace
+
+void
+setErrorsThrow(bool throws)
+{
+    errors_throw = throws;
+}
+
+bool
+errorsThrow()
+{
+    return errors_throw;
+}
+
+void
+setLogVerbose(bool verbose)
+{
+    log_verbose = verbose;
+}
+
+bool
+logVerbose()
+{
+    return log_verbose;
+}
+
+namespace detail {
+
+void
+raiseError(SimError::Kind kind, const std::string &msg,
+           const char *file, int line)
+{
+    std::ostringstream oss;
+    oss << (kind == SimError::Kind::Panic ? "panic: " : "fatal: ")
+        << msg << " (" << file << ":" << line << ")";
+    if (errors_throw)
+        throw SimError(kind, oss.str());
+    std::fprintf(stderr, "%s\n", oss.str().c_str());
+    if (kind == SimError::Kind::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+emitLog(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace flowguard

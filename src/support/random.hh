@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the simulator flows through Rng so runs are exactly
+ * reproducible from a seed. The engine is xoshiro256**, seeded through
+ * SplitMix64 as its authors recommend.
+ */
+
+#ifndef FLOWGUARD_SUPPORT_RANDOM_HH
+#define FLOWGUARD_SUPPORT_RANDOM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace flowguard {
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) — bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double unit();
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p);
+
+    /** Picks a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[below(v.size())];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[below(i)]);
+    }
+
+  private:
+    std::array<uint64_t, 4> _state;
+};
+
+/** SplitMix64 step, exposed for hashing-like uses. */
+uint64_t splitmix64(uint64_t &state);
+
+} // namespace flowguard
+
+#endif // FLOWGUARD_SUPPORT_RANDOM_HH

@@ -1,0 +1,118 @@
+#include "support/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace flowguard {
+
+void
+Accumulator::add(double sample)
+{
+    if (_count == 0) {
+        _min = _max = sample;
+    } else {
+        _min = std::min(_min, sample);
+        _max = std::max(_max, sample);
+    }
+    ++_count;
+    _sum += sample;
+    if (sample > 0.0)
+        _logSum += std::log(sample);
+}
+
+double
+Accumulator::mean() const
+{
+    fg_assert(_count > 0, "mean of empty accumulator");
+    return _sum / static_cast<double>(_count);
+}
+
+double
+Accumulator::min() const
+{
+    fg_assert(_count > 0, "min of empty accumulator");
+    return _min;
+}
+
+double
+Accumulator::max() const
+{
+    fg_assert(_count > 0, "max of empty accumulator");
+    return _max;
+}
+
+double
+Accumulator::geomean() const
+{
+    fg_assert(_count > 0, "geomean of empty accumulator");
+    return std::exp(_logSum / static_cast<double>(_count));
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    Accumulator acc;
+    for (double v : values)
+        acc.add(v);
+    return acc.geomean();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : _header(std::move(header))
+{}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    fg_assert(cells.size() == _header.size(),
+              "row width mismatches header");
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<size_t> widths(_header.size());
+    for (size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            oss << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit_row(_header);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    oss << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : _rows)
+        emit_row(row);
+    return oss.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+} // namespace flowguard

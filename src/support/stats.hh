@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness: scalar
+ * accumulators, geometric means (the paper reports geomeans throughout),
+ * and a fixed-width table printer for regenerating the paper's tables.
+ */
+
+#ifndef FLOWGUARD_SUPPORT_STATS_HH
+#define FLOWGUARD_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flowguard {
+
+/** Accumulates samples; exposes count/sum/mean/min/max and geomean. */
+class Accumulator
+{
+  public:
+    void add(double sample);
+
+    uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Geometric mean of the samples. All samples must be positive;
+     * computed in log space for stability.
+     */
+    double geomean() const;
+
+  private:
+    uint64_t _count = 0;
+    double _sum = 0.0;
+    double _logSum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Fixed-width console table: collects rows of strings and prints them
+ * padded to per-column maxima, in the style of the paper's tables.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders the table (header, rule, rows) to a string. */
+    std::string render() const;
+
+    /** Convenience: render and write to stdout. */
+    void print() const;
+
+    /** Formats a double with the given precision. */
+    static std::string fmt(double value, int precision = 2);
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace flowguard
+
+#endif // FLOWGUARD_SUPPORT_STATS_HH

@@ -1,0 +1,238 @@
+#include "trace/ipt.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace flowguard::trace {
+
+using cpu::BranchEvent;
+using cpu::BranchKind;
+
+Topa::Topa(std::vector<size_t> region_sizes)
+{
+    fg_assert(!region_sizes.empty(), "ToPA needs at least one region");
+    size_t total = 0;
+    for (size_t size : region_sizes) {
+        fg_assert(size > 0, "ToPA regions must be non-empty");
+        total += size;
+        _regionEnds.push_back(total);
+    }
+    _storage.assign(total, 0);
+}
+
+void
+Topa::write(const uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        _storage[_cursor] = data[i];
+        ++_cursor;
+        ++_totalWritten;
+        if (_cursor == _storage.size()) {
+            // Last region filled: wrap to the head and raise the PMI.
+            _cursor = 0;
+            _wrapped = true;
+            if (_pmi)
+                _pmi();
+        }
+    }
+}
+
+std::vector<uint8_t>
+Topa::snapshot() const
+{
+    std::vector<uint8_t> out;
+    if (!_wrapped) {
+        out.assign(_storage.begin(),
+                   _storage.begin() + static_cast<int64_t>(_cursor));
+        return out;
+    }
+    out.reserve(_storage.size());
+    out.insert(out.end(),
+               _storage.begin() + static_cast<int64_t>(_cursor),
+               _storage.end());
+    out.insert(out.end(), _storage.begin(),
+               _storage.begin() + static_cast<int64_t>(_cursor));
+    return out;
+}
+
+void
+Topa::clear()
+{
+    std::fill(_storage.begin(), _storage.end(), 0);
+    _cursor = 0;
+    _wrapped = false;
+    _totalWritten = 0;
+}
+
+IptEncoder::IptEncoder(IptConfig config, Topa &topa,
+                       cpu::CycleAccount *account)
+    : _config(std::move(config)), _topa(topa), _account(account)
+{}
+
+void
+IptEncoder::emit(const std::vector<uint8_t> &bytes)
+{
+    _topa.write(bytes.data(), bytes.size());
+    _stats.bytes += bytes.size();
+    _bytesSincePsb += bytes.size();
+    if (_account)
+        _account->trace +=
+            static_cast<double>(bytes.size()) *
+            cpu::cost::ipt_trace_per_byte;
+}
+
+void
+IptEncoder::maybePsb()
+{
+    if (_started && _bytesSincePsb < _config.psbPeriodBytes)
+        return;
+    flushTnt();
+    _scratch.clear();
+    appendPsb(_scratch);
+    appendPsbEnd(_scratch);
+    emit(_scratch);
+    ++_stats.psbPackets;
+    _bytesSincePsb = 0;
+    _lastIp = 0;    // decoder state resets at PSB; mirror it
+    _started = true;
+}
+
+void
+IptEncoder::flushTnt()
+{
+    if (_tntCount == 0)
+        return;
+    _scratch.clear();
+    appendTnt(_scratch, _tntBits, _tntCount);
+    emit(_scratch);
+    ++_stats.tntPackets;
+    _stats.tntBits += static_cast<uint64_t>(_tntCount);
+    _tntBits = 0;
+    _tntCount = 0;
+}
+
+void
+IptEncoder::reconfigureCr3(uint64_t cr3)
+{
+    _config.cr3Match = cr3;
+    ++_reconfigs;
+    if (_account)
+        _account->other += cpu::cost::ipt_reconfigure;
+}
+
+bool
+IptEncoder::passesFilters(const BranchEvent &event) const
+{
+    if (_config.cr3Filter) {
+        if (!_config.cr3MatchSet.empty()) {
+            bool any = false;
+            for (uint64_t cr3 : _config.cr3MatchSet)
+                any |= event.cr3 == cr3;
+            if (!any)
+                return false;
+        } else if (event.cr3 != _config.cr3Match) {
+            return false;
+        }
+    }
+    if (!_config.ipRanges.empty()) {
+        bool in_range = false;
+        for (const auto &[lo, hi] : _config.ipRanges) {
+            if (event.source >= lo && event.source < hi) {
+                in_range = true;
+                break;
+            }
+        }
+        if (!in_range)
+            return false;
+    }
+    return true;
+}
+
+void
+IptEncoder::onBranch(const BranchEvent &event)
+{
+    if (!_config.traceEn || !_config.branchEn)
+        return;
+
+    const bool on = passesFilters(event);
+    if (!on) {
+        if (_contextOn) {
+            // Leaving the filtered context: TIP.PGD, IP suppressed.
+            maybePsb();
+            flushTnt();
+            _scratch.clear();
+            appendTipClass(_scratch, opcode::tip_pgd, 0, _lastIp,
+                           /*suppress=*/true);
+            emit(_scratch);
+            ++_stats.pgdPackets;
+            _contextOn = false;
+        }
+        return;
+    }
+
+    maybePsb();
+
+    if (!_contextOn) {
+        if (event.kind == BranchKind::SyscallEntry)
+            return;     // still outside the traced context
+        // (Re)entering the filtered context: TIP.PGE at the target.
+        // The PGE subsumes the branch itself — emitting the branch's
+        // own TNT/TIP as well would desynchronize the decoder.
+        flushTnt();
+        _scratch.clear();
+        appendTipClass(_scratch, opcode::tip_pge, event.target, _lastIp);
+        emit(_scratch);
+        ++_stats.pgePackets;
+        _contextOn = true;
+        return;
+    }
+
+    switch (event.kind) {
+      case BranchKind::DirectJump:
+      case BranchKind::DirectCall:
+        // Statically known control flow: no packet (Table 3).
+        break;
+
+      case BranchKind::CondTaken:
+      case BranchKind::CondNotTaken: {
+        const uint8_t bit =
+            event.kind == BranchKind::CondTaken ? 1 : 0;
+        _tntBits |= static_cast<uint8_t>(bit << _tntCount);
+        ++_tntCount;
+        if (_tntCount == 6)
+            flushTnt();
+        break;
+      }
+
+      case BranchKind::IndirectJump:
+      case BranchKind::IndirectCall:
+      case BranchKind::Return:
+        flushTnt();
+        _scratch.clear();
+        appendTipClass(_scratch, opcode::tip, event.target, _lastIp);
+        emit(_scratch);
+        ++_stats.tipPackets;
+        break;
+
+      case BranchKind::SyscallEntry:
+        // Far transfer with OS tracing disabled: FUP at the syscall
+        // instruction, then TIP.PGD as tracing pauses in the kernel.
+        flushTnt();
+        _scratch.clear();
+        appendTipClass(_scratch, opcode::fup, event.source, _lastIp);
+        appendTipClass(_scratch, opcode::tip_pgd, 0, _lastIp,
+                       /*suppress=*/true);
+        emit(_scratch);
+        ++_stats.fupPackets;
+        ++_stats.pgdPackets;
+        _contextOn = false;     // next user event re-emits PGE
+        break;
+
+      case BranchKind::SyscallExit:
+        // Handled by the context-on transition above.
+        break;
+    }
+}
+
+} // namespace flowguard::trace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The IPT hardware model: RTIT-style configuration, the ToPA output
+ * mechanism and the packet encoder (a TraceSink fed by the CPU).
+ *
+ * Mirrors §5.1 of the paper: TraceEn/BranchEn enable CoFI packets, the
+ * User/OS bits select privilege filtering, CR3Filter + CR3 match value
+ * restrict tracing to the protected process, and output goes to a
+ * Table-of-Physical-Addresses region chain. Context-switch transitions
+ * in and out of the filtered process produce TIP.PGE/TIP.PGD packets,
+ * and syscalls (far transfers with OS tracing disabled) produce
+ * FUP + TIP.PGD on entry, TIP.PGE on resume — exactly the packet
+ * vocabulary the runtime checker has to cope with.
+ */
+
+#ifndef FLOWGUARD_TRACE_IPT_HH
+#define FLOWGUARD_TRACE_IPT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/cost_model.hh"
+#include "cpu/events.hh"
+#include "trace/ipt_packets.hh"
+
+namespace flowguard::trace {
+
+/** The IA32_RTIT_* configuration surface we model. */
+struct IptConfig
+{
+    bool traceEn = true;
+    bool branchEn = true;
+    bool user = true;           ///< trace CPL > 0
+    bool os = false;            ///< trace CPL 0 (FlowGuard clears this)
+    bool cr3Filter = false;
+    uint64_t cr3Match = 0;
+    /**
+     * §6 hardware suggestion 2: configurable multi-CR3 filtering.
+     * When non-empty (and cr3Filter is set), a branch passes if its
+     * CR3 matches any entry — no per-context-switch reconfiguration
+     * needed for multi-process services.
+     */
+    std::vector<uint64_t> cr3MatchSet;
+    /** Optional IP range filters (ADDRn_A/B); empty = no filtering. */
+    std::vector<std::pair<uint64_t, uint64_t>> ipRanges;
+    /** Bytes between PSB sync points. */
+    uint32_t psbPeriodBytes = 1024;
+};
+
+/**
+ * Table of Physical Addresses output: a chain of regions written in
+ * order; when the last region fills, output wraps to the first and an
+ * optional PMI callback fires (the buffer-full interrupt of §5.2).
+ */
+class Topa
+{
+  public:
+    explicit Topa(std::vector<size_t> region_sizes);
+
+    /** Appends bytes, spilling across regions and wrapping. */
+    void write(const uint8_t *data, size_t len);
+
+    /** Registers the buffer-full PMI callback. */
+    void setPmiCallback(std::function<void()> callback)
+    {
+        _pmi = std::move(callback);
+    }
+
+    /**
+     * Contents in age order (oldest byte first). After a wrap the
+     * oldest bytes are those just ahead of the write cursor.
+     */
+    std::vector<uint8_t> snapshot() const;
+
+    /** Total bytes ever written (not capped by capacity). */
+    uint64_t totalWritten() const { return _totalWritten; }
+
+    /** Sum of region sizes. */
+    size_t capacity() const { return _storage.size(); }
+
+    bool wrapped() const { return _wrapped; }
+
+    void clear();
+
+  private:
+    std::vector<uint8_t> _storage;    ///< regions are contiguous here
+    std::vector<size_t> _regionEnds;  ///< cumulative region boundaries
+    size_t _cursor = 0;
+    bool _wrapped = false;
+    uint64_t _totalWritten = 0;
+    std::function<void()> _pmi;
+};
+
+/** Per-packet-kind emission counters. */
+struct IptStats
+{
+    uint64_t tntPackets = 0;
+    uint64_t tntBits = 0;
+    uint64_t tipPackets = 0;
+    uint64_t pgePackets = 0;
+    uint64_t pgdPackets = 0;
+    uint64_t fupPackets = 0;
+    uint64_t psbPackets = 0;
+    uint64_t bytes = 0;
+};
+
+/** The packet generator: consumes BranchEvents, emits packet bytes. */
+class IptEncoder : public cpu::TraceSink
+{
+  public:
+    IptEncoder(IptConfig config, Topa &topa,
+               cpu::CycleAccount *account = nullptr);
+
+    void onBranch(const cpu::BranchEvent &event) override;
+
+    /** Flushes buffered TNT bits (call before decoding a snapshot). */
+    void flushTnt();
+
+    /**
+     * Rewrites the single CR3 match register, as a kernel must on a
+     * context switch when several processes share one filter; charges
+     * the reconfiguration cost (an MSR write with tracing quiesced).
+     */
+    void reconfigureCr3(uint64_t cr3);
+
+    /** Number of reconfigureCr3 calls (§7.2.4 accounting). */
+    uint64_t reconfigurations() const { return _reconfigs; }
+
+    const IptStats &stats() const { return _stats; }
+    const IptConfig &config() const { return _config; }
+
+    /** True if the last seen context matched the filters. */
+    bool contextOn() const { return _contextOn; }
+
+  private:
+    void emit(const std::vector<uint8_t> &bytes);
+    void maybePsb();
+    bool passesFilters(const cpu::BranchEvent &event) const;
+
+    IptConfig _config;
+    Topa &_topa;
+    cpu::CycleAccount *_account;
+
+    uint64_t _lastIp = 0;
+    uint8_t _tntBits = 0;
+    int _tntCount = 0;
+    bool _contextOn = false;
+    bool _started = false;
+    uint64_t _bytesSincePsb = 0;
+    uint64_t _reconfigs = 0;
+    IptStats _stats;
+    std::vector<uint8_t> _scratch;
+};
+
+} // namespace flowguard::trace
+
+#endif // FLOWGUARD_TRACE_IPT_HH

@@ -1,0 +1,271 @@
+#include "trace/ipt_packets.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace flowguard::trace {
+
+namespace {
+
+constexpr uint8_t psb_byte0 = 0x02;
+constexpr uint8_t psb_byte1 = 0x82;
+constexpr uint8_t psbend_byte1 = 0x23;
+constexpr int psb_repeats = 8;
+
+/** IPBytes mode for compressing `ip` against `last_ip`. */
+int
+ipMode(uint64_t ip, uint64_t last_ip)
+{
+    if ((ip >> 16) == (last_ip >> 16))
+        return 1;
+    if ((ip >> 32) == (last_ip >> 32))
+        return 2;
+    return 6;
+}
+
+int
+ipPayloadBytes(int mode)
+{
+    switch (mode) {
+      case 0: return 0;
+      case 1: return 2;
+      case 2: return 4;
+      case 6: return 8;
+    }
+    return -1;
+}
+
+} // namespace
+
+std::string
+Packet::toString() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case PacketKind::Pad:
+        oss << "PAD";
+        break;
+      case PacketKind::Tnt: {
+        oss << "TNT(";
+        for (int i = 0; i < tntCount; ++i)
+            oss << ((tntBits >> i) & 1);
+        oss << ")";
+        break;
+      }
+      case PacketKind::Tip:
+      case PacketKind::TipPge:
+      case PacketKind::TipPgd:
+      case PacketKind::Fup: {
+        const char *name = kind == PacketKind::Tip ? "TIP"
+            : kind == PacketKind::TipPge ? "TIP.PGE"
+            : kind == PacketKind::TipPgd ? "TIP.PGD"
+            : "FUP";
+        oss << name;
+        if (ipSuppressed)
+            oss << "(<suppressed>)";
+        else
+            oss << std::hex << "(0x" << ip << ")";
+        break;
+      }
+      case PacketKind::Psb:
+        oss << "PSB";
+        break;
+      case PacketKind::PsbEnd:
+        oss << "PSBEND";
+        break;
+    }
+    return oss.str();
+}
+
+void
+appendTnt(std::vector<uint8_t> &out, uint8_t bits, int count)
+{
+    fg_assert(count >= 1 && count <= 6, "short TNT holds 1-6 bits");
+    uint8_t byte = static_cast<uint8_t>(1u << (count + 1));
+    byte |= static_cast<uint8_t>((bits & ((1u << count) - 1)) << 1);
+    out.push_back(byte);
+}
+
+void
+appendTipClass(std::vector<uint8_t> &out, uint8_t op, uint64_t ip,
+               uint64_t &last_ip, bool suppress)
+{
+    int mode = suppress ? 0 : ipMode(ip, last_ip);
+    out.push_back(static_cast<uint8_t>((mode << 5) | op));
+    int nbytes = ipPayloadBytes(mode);
+    for (int i = 0; i < nbytes; ++i)
+        out.push_back(static_cast<uint8_t>(ip >> (8 * i)));
+    if (!suppress)
+        last_ip = ip;
+}
+
+void
+appendPsb(std::vector<uint8_t> &out)
+{
+    for (int i = 0; i < psb_repeats; ++i) {
+        out.push_back(psb_byte0);
+        out.push_back(psb_byte1);
+    }
+}
+
+void
+appendPsbEnd(std::vector<uint8_t> &out)
+{
+    out.push_back(psb_byte0);
+    out.push_back(psbend_byte1);
+}
+
+void
+appendPad(std::vector<uint8_t> &out)
+{
+    out.push_back(0x00);
+}
+
+PacketParser::PacketParser(const uint8_t *data, size_t size)
+    : _data(data), _size(size)
+{}
+
+PacketParser::PacketParser(const std::vector<uint8_t> &data)
+    : _data(data.data()), _size(data.size())
+{}
+
+void
+PacketParser::seek(uint64_t offset)
+{
+    _pos = offset;
+    _lastIp = 0;
+    _bad = false;
+}
+
+bool
+PacketParser::next(Packet &out)
+{
+    if (_bad || _pos >= _size)
+        return false;
+
+    out = Packet{};
+    out.offset = _pos;
+    const uint8_t head = _data[_pos];
+
+    if (head == 0x00) {
+        out.kind = PacketKind::Pad;
+        out.size = 1;
+        _pos += 1;
+        return true;
+    }
+
+    if (head == psb_byte0) {
+        if (_pos + 1 >= _size) {
+            _bad = true;
+            return false;
+        }
+        const uint8_t second = _data[_pos + 1];
+        if (second == psb_byte1) {
+            // Expect the full 16-byte pattern.
+            if (_pos + 2 * psb_repeats > _size) {
+                _bad = true;
+                return false;
+            }
+            for (int i = 0; i < psb_repeats; ++i) {
+                if (_data[_pos + 2 * i] != psb_byte0 ||
+                    _data[_pos + 2 * i + 1] != psb_byte1) {
+                    _bad = true;
+                    return false;
+                }
+            }
+            out.kind = PacketKind::Psb;
+            out.size = 2 * psb_repeats;
+            _pos += out.size;
+            _lastIp = 0;    // sync point: compression state resets
+            return true;
+        }
+        if (second == psbend_byte1) {
+            out.kind = PacketKind::PsbEnd;
+            out.size = 2;
+            _pos += 2;
+            return true;
+        }
+        _bad = true;
+        return false;
+    }
+
+    if ((head & 1) == 0) {
+        // Short TNT: locate the stop bit.
+        int stop = 7;
+        while (stop > 0 && !((head >> stop) & 1))
+            --stop;
+        if (stop < 2) {
+            _bad = true;    // no payload bits — not a valid TNT
+            return false;
+        }
+        out.kind = PacketKind::Tnt;
+        out.tntCount = static_cast<uint8_t>(stop - 1);
+        out.tntBits = static_cast<uint8_t>(
+            (head >> 1) & ((1u << out.tntCount) - 1));
+        out.size = 1;
+        _pos += 1;
+        return true;
+    }
+
+    // TIP-class packet.
+    const uint8_t op = head & 0x1F;
+    const int mode = head >> 5;
+    PacketKind kind;
+    switch (op) {
+      case opcode::tip: kind = PacketKind::Tip; break;
+      case opcode::tip_pge: kind = PacketKind::TipPge; break;
+      case opcode::tip_pgd: kind = PacketKind::TipPgd; break;
+      case opcode::fup: kind = PacketKind::Fup; break;
+      default:
+        _bad = true;
+        return false;
+    }
+    const int nbytes = ipPayloadBytes(mode);
+    if (nbytes < 0 || _pos + 1 + nbytes > _size) {
+        _bad = true;
+        return false;
+    }
+    uint64_t payload = 0;
+    for (int i = nbytes - 1; i >= 0; --i)
+        payload = (payload << 8) | _data[_pos + 1 + i];
+
+    out.kind = kind;
+    out.size = static_cast<uint32_t>(1 + nbytes);
+    if (mode == 0) {
+        out.ipSuppressed = true;
+    } else if (mode == 1) {
+        out.ip = (_lastIp & ~0xFFFFULL) | payload;
+        _lastIp = out.ip;
+    } else if (mode == 2) {
+        out.ip = (_lastIp & ~0xFFFFFFFFULL) | payload;
+        _lastIp = out.ip;
+    } else {
+        out.ip = payload;
+        _lastIp = out.ip;
+    }
+    _pos += out.size;
+    return true;
+}
+
+std::vector<uint64_t>
+findPsbOffsets(const uint8_t *data, size_t size)
+{
+    std::vector<uint64_t> offsets;
+    if (size < 2 * psb_repeats)
+        return offsets;
+    for (size_t i = 0; i + 2 * psb_repeats <= size; ++i) {
+        bool match = true;
+        for (int k = 0; k < psb_repeats && match; ++k) {
+            match = data[i + 2 * k] == psb_byte0 &&
+                    data[i + 2 * k + 1] == psb_byte1;
+        }
+        if (match) {
+            offsets.push_back(i);
+            i += 2 * psb_repeats - 1;
+        }
+    }
+    return offsets;
+}
+
+} // namespace flowguard::trace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * IPT packet definitions: the wire format shared by the encoder (trace
+ * hardware model) and the decoders.
+ *
+ * The format is a faithful subset of real Intel PT packets — the
+ * properties FlowGuard's design responds to (aggressive compression,
+ * typeless packets, last-IP delta encoding, PSB sync points) are all
+ * preserved at the byte level:
+ *
+ *   PAD      0x00
+ *   TNT      one even byte >= 0x04: bit 0 = 0, the highest set bit is
+ *            the stop bit, bits below it down to bit 1 are 1-6 branch
+ *            outcomes (bit 1 = oldest)
+ *   TIP      header byte, low 5 bits 0x0D, top 3 bits = IPBytes mode,
+ *            followed by 0/2/4/8 bytes of little-endian IP payload
+ *            (delta-compressed against the decoder's last-IP state)
+ *   TIP.PGE  header low 5 bits 0x11, same IP payload scheme
+ *   TIP.PGD  header low 5 bits 0x01, same IP payload scheme
+ *   FUP      header low 5 bits 0x1D, same IP payload scheme
+ *   PSB      0x02 0x82 repeated 8 times (16 bytes); resets last-IP
+ *   PSBEND   0x02 0x23
+ *
+ * IPBytes modes: 0 = IP suppressed, 1 = low 16 bits updated, 2 = low
+ * 32 bits updated, 6 = full 64-bit IP.
+ */
+
+#ifndef FLOWGUARD_TRACE_IPT_PACKETS_HH
+#define FLOWGUARD_TRACE_IPT_PACKETS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flowguard::trace {
+
+enum class PacketKind : uint8_t {
+    Pad,
+    Tnt,
+    Tip,
+    TipPge,
+    TipPgd,
+    Fup,
+    Psb,
+    PsbEnd,
+};
+
+/** Header low-5-bit opcodes for the TIP packet family. */
+namespace opcode {
+
+constexpr uint8_t tip = 0x0D;
+constexpr uint8_t tip_pge = 0x11;
+constexpr uint8_t tip_pgd = 0x01;
+constexpr uint8_t fup = 0x1D;
+
+} // namespace opcode
+
+/** A parsed packet. */
+struct Packet
+{
+    PacketKind kind = PacketKind::Pad;
+
+    // TNT payload: `tntCount` branch outcomes, bit 0 of tntBits oldest.
+    uint8_t tntCount = 0;
+    uint8_t tntBits = 0;
+
+    // TIP/PGE/PGD/FUP payload.
+    bool ipSuppressed = false;
+    uint64_t ip = 0;
+
+    /** Encoded size in bytes (for cost accounting / offsets). */
+    uint32_t size = 0;
+    /** Byte offset of this packet in the parsed stream. */
+    uint64_t offset = 0;
+
+    std::string toString() const;
+};
+
+/** Appends a short TNT packet holding `count` (1-6) outcomes. */
+void appendTnt(std::vector<uint8_t> &out, uint8_t bits, int count);
+
+/**
+ * Appends a TIP-class packet, delta-compressing `ip` against
+ * `last_ip` (updated). `suppress` emits IPBytes mode 0.
+ */
+void appendTipClass(std::vector<uint8_t> &out, uint8_t op, uint64_t ip,
+                    uint64_t &last_ip, bool suppress = false);
+
+/** Appends the 16-byte PSB sync pattern. */
+void appendPsb(std::vector<uint8_t> &out);
+
+/** Appends PSBEND. */
+void appendPsbEnd(std::vector<uint8_t> &out);
+
+/** Appends a PAD byte. */
+void appendPad(std::vector<uint8_t> &out);
+
+/**
+ * Streaming parser over a raw packet buffer. Maintains the last-IP
+ * decompression state; PSB resets it, exactly mirroring the encoder.
+ * This is the packet layer of abstraction — it never consults any
+ * binary.
+ */
+class PacketParser
+{
+  public:
+    PacketParser(const uint8_t *data, size_t size);
+    explicit PacketParser(const std::vector<uint8_t> &data);
+
+    /**
+     * Parses the next packet into `out`.
+     * @retval true a packet was produced.
+     * @retval false end of buffer or undecodable garbage (sets bad()).
+     */
+    bool next(Packet &out);
+
+    /** True if parsing stopped on malformed bytes. */
+    bool bad() const { return _bad; }
+
+    /** Current byte offset. */
+    uint64_t offset() const { return _pos; }
+
+    /**
+     * Repositions to `offset`, which must be a PSB boundary for the
+     * last-IP state to be correct (used for parallel decode from sync
+     * points).
+     */
+    void seek(uint64_t offset);
+
+  private:
+    const uint8_t *_data;
+    size_t _size;
+    size_t _pos = 0;
+    uint64_t _lastIp = 0;
+    bool _bad = false;
+};
+
+/** Scans the buffer for PSB boundaries (for parallel fast decode). */
+std::vector<uint64_t> findPsbOffsets(const uint8_t *data, size_t size);
+
+} // namespace flowguard::trace
+
+#endif // FLOWGUARD_TRACE_IPT_PACKETS_HH

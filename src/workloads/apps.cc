@@ -1,0 +1,764 @@
+#include "workloads/apps.hh"
+
+#include "isa/builder.hh"
+#include "isa/loader.hh"
+#include "isa/syscalls.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "workloads/libc.hh"
+
+namespace flowguard::workloads {
+
+using namespace isa;
+
+namespace {
+
+constexpr int64_t conn_fd = 5;
+
+/** Emits a few seeded ALU instructions over scratch registers. */
+void
+emitAluMix(ModuleBuilder &mod, Rng &rng, size_t count)
+{
+    static constexpr AluOp ops[] = {AluOp::Add, AluOp::Sub, AluOp::Xor,
+                                    AluOp::Mul, AluOp::Or, AluOp::And};
+    for (size_t i = 0; i < count; ++i) {
+        const int rd = static_cast<int>(rng.range(6, 9));
+        if (rng.chance(0.5)) {
+            mod.alu(ops[rng.below(std::size(ops))], rd,
+                    static_cast<int>(rng.range(6, 9)));
+        } else {
+            mod.aluImm(ops[rng.below(std::size(ops))], rd,
+                       static_cast<int64_t>(rng.range(1, 97)));
+        }
+    }
+}
+
+/** Emits a data-dependent conditional skipping one instruction. */
+void
+emitCond(ModuleBuilder &mod, Rng &rng, const std::string &tag)
+{
+    static constexpr Cond conds[] = {Cond::Lt, Cond::Ge, Cond::Eq,
+                                     Cond::Ne, Cond::Gt, Cond::Le};
+    mod.cmpImm(static_cast<int>(rng.range(6, 9)),
+               static_cast<int64_t>(rng.range(0, 255)));
+    mod.jcc(conds[rng.below(std::size(conds))], tag);
+    mod.aluImm(AluOp::Add, static_cast<int>(rng.range(6, 9)), 1);
+    mod.label(tag);
+}
+
+/** Number of "hot" leaf fillers reachable through the dispatch
+ *  table (the runtime-safe indirect-call targets). */
+constexpr size_t hot_filler_count = 16;
+
+/**
+ * Adds `count` filler functions (filler_<base>_i). Fillers may call
+ * higher-indexed fillers (a DAG, no recursion) and have varying
+ * argument arity so TypeArmor has something to discriminate. When
+ * `with_dispatch` is set, a fraction of fillers make an indirect
+ * call through "hot_table" (the last hot_filler_count fillers, which
+ * are call-free leaves — so runtime dispatch can never recurse while
+ * the *conservative* target set of every such site spans the whole
+ * address-taken universe, exactly the gap real cold code exhibits).
+ */
+void
+emitFillers(ModuleBuilder &mod, Rng &rng, size_t count,
+            const std::string &base, bool with_dispatch = false)
+{
+    const bool dispatch_ok =
+        with_dispatch && count > hot_filler_count + 4;
+    const size_t leaf_start =
+        dispatch_ok ? count - hot_filler_count : count;
+    for (size_t i = 0; i < count; ++i) {
+        mod.function(base + "_" + std::to_string(i),
+                     /*exported=*/false);
+        const size_t arity = rng.below(4);
+        for (size_t a = 0; a < arity; ++a)
+            mod.alu(AluOp::Add, 6, static_cast<int>(a));
+        emitAluMix(mod, rng, rng.range(2, 6));
+        if (rng.chance(0.6))
+            emitCond(mod, rng, "f_skip");
+        if (i < leaf_start) {
+            if (rng.chance(0.5) && i + 1 < count) {
+                const size_t callee = i + 1 + rng.below(count - i - 1);
+                // Prepare as many args as any filler might consume.
+                mod.movImm(0, 1);
+                mod.movImm(1, 2);
+                mod.movImm(2, 3);
+                mod.call(base + "_" + std::to_string(callee));
+            }
+            if (dispatch_ok && rng.chance(0.15)) {
+                mod.movImm(0, 1);
+                mod.movImm(1, 2);
+                mod.movImm(2, 3);
+                mod.movImm(7, static_cast<int64_t>(
+                    8 * rng.below(hot_filler_count)));
+                mod.movImmData(8, "hot_table");
+                mod.alu(AluOp::Add, 8, 7);
+                mod.load(8, 8, 0);
+                mod.callInd(8);
+            }
+        }
+        mod.movReg(0, 6);
+        mod.ret();
+    }
+    if (dispatch_ok) {
+        std::vector<std::string> hot;
+        for (size_t i = leaf_start; i < count; ++i)
+            hot.push_back(base + "_" + std::to_string(i));
+        mod.funcPtrTable("hot_table", hot, /*exported=*/false);
+    }
+}
+
+} // namespace
+
+SyntheticApp
+buildServerApp(const ServerSpec &spec)
+{
+    fg_assert(spec.numHandlers >= 1, "server needs handlers");
+    fg_assert(spec.numParserStates >= 1, "server needs parser states");
+    Rng rng(spec.seed);
+
+    ModuleBuilder exe(spec.name, ModuleKind::Executable);
+    exe.needs("libc");
+
+    // --- leaf helpers called from handler hot loops ----------------------
+    for (int k = 0; k < 4; ++k) {
+        exe.function("leaf_" + std::to_string(k), /*exported=*/false);
+        exe.movReg(12, 0);
+        exe.aluImm(k % 2 ? AluOp::Xor : AluOp::Add, 12,
+                   static_cast<int64_t>(17 + 13 * k));
+        exe.movReg(0, 12);
+        exe.ret();
+    }
+
+    // --- handlers -----------------------------------------------------------
+    std::vector<std::string> handler_names;
+    for (size_t h = 0; h < spec.numHandlers; ++h) {
+        const std::string name = "handler_" + std::to_string(h);
+        handler_names.push_back(name);
+        exe.function(name, /*exported=*/false);
+        if (h == 0 && spec.implantVuln) {
+            // The implanted vulnerability (§7.1.2): an unbounded
+            // strcpy into a 3-word stack buffer.
+            exe.aluImm(AluOp::Sub, sp_reg,
+                       static_cast<int64_t>(8 * vuln_buffer_words));
+            exe.movReg(1, 0);
+            exe.aluImm(AluOp::Add, 1, 8);   // src: payload words
+            exe.movReg(0, sp_reg);          // dst: stack buffer
+            exe.callExt("strcpy_w");
+            exe.aluImm(AluOp::Add, sp_reg,
+                       static_cast<int64_t>(8 * vuln_buffer_words));
+            exe.ret();
+            continue;
+        }
+        if (h == 1 && spec.implantVuln) {
+            // Second implanted bug: a magic-gated debug command with
+            // an unchecked array index — a data-only write primitive
+            // (the COOP/control-jujutsu vector: corrupt a function
+            // pointer without ever breaking an edge).
+            exe.load(6, 0, 8);              // payload word 0: magic
+            exe.movImm(7, vuln_debug_magic);
+            exe.cmp(6, 7);
+            exe.jcc(Cond::Ne, "dbg_skip");
+            exe.load(6, 0, 16);             // word 1: byte index
+            exe.load(7, 0, 24);             // word 2: value
+            exe.movImmData(8, "stats_array");
+            exe.alu(AluOp::Add, 8, 6);
+            exe.store(8, 0, 7);             // OOB write past stats
+            exe.label("dbg_skip");
+            exe.ret();
+            continue;
+        }
+        // handler(buf=r0, len=r1): scan payload words with
+        // data-dependent conditionals, a leaf call per iteration
+        // (call/return density of real request-processing code), and
+        // optional helper calls.
+        exe.movImm(6, 0);
+        exe.label("h_loop");
+        exe.cmpImm(6, static_cast<int64_t>(spec.workPerRequest));
+        exe.jcc(Cond::Ge, "h_done");
+        exe.movReg(7, 6);
+        exe.aluImm(AluOp::And, 7, 0x1F);
+        exe.aluImm(AluOp::Shl, 7, 3);
+        exe.movReg(8, 0);
+        exe.alu(AluOp::Add, 8, 7);
+        exe.load(9, 8, 0);
+        exe.alu(AluOp::Xor, 10, 9);
+        exe.cmpImm(9, static_cast<int64_t>(rng.range(16, 200)));
+        exe.jcc(rng.chance(0.5) ? Cond::Lt : Cond::Ge, "h_skip");
+        exe.aluImm(AluOp::Add, 10, 1);
+        exe.label("h_skip");
+        // A leaf call every 4th iteration: the call/return density of
+        // request-processing code without drowning the trace in TIPs.
+        exe.movReg(7, 6);
+        exe.aluImm(AluOp::And, 7, 3);
+        exe.cmpImm(7, 0);
+        exe.jcc(Cond::Ne, "h_no_leaf");
+        exe.movReg(11, 0);          // preserve buf across the leaf
+        exe.movReg(0, 9);
+        exe.call("leaf_" + std::to_string(h % 4));
+        exe.movReg(0, 11);
+        exe.label("h_no_leaf");
+        exe.aluImm(AluOp::Add, 6, 1);
+        exe.jmp("h_loop");
+        exe.label("h_done");
+        if (rng.chance(0.5)) {
+            // checksum(buf, 4 words) via the PLT.
+            exe.movImm(1, 4);
+            exe.callExt("checksum");
+        }
+        if (rng.chance(0.4) && spec.numFillerFuncs > 0) {
+            exe.movImm(0, 1);
+            exe.movImm(1, 2);
+            exe.movImm(2, 3);
+            exe.call("filler_x_" + std::to_string(
+                rng.below(spec.numFillerFuncs)));
+        }
+        if (rng.chance(0.35) && spec.fillerTableSlots > 0) {
+            // Indirect helper dispatch through the filler table —
+            // CallInd sites beyond the main handler dispatch.
+            exe.movImm(0, 1);
+            exe.movImm(1, 2);
+            exe.movImm(2, 3);
+            exe.movImm(6, static_cast<int64_t>(
+                8 * rng.below(spec.fillerTableSlots)));
+            exe.movImmData(7, "filler_table");
+            exe.alu(AluOp::Add, 7, 6);
+            exe.load(7, 7, 0);
+            exe.callInd(7);
+        }
+        exe.ret();
+    }
+
+    // --- parser states (tail-dispatched via a jump table) ---------------
+    std::vector<std::string> state_names;
+    for (size_t s = 0; s < spec.numParserStates; ++s) {
+        const std::string name = "pstate_" + std::to_string(s);
+        state_names.push_back(name);
+        exe.function(name, /*exported=*/false);
+        emitAluMix(exe, rng, 1 + s % 3);
+        emitCond(exe, rng, "ps_skip");
+        // Handler dispatch: type byte indexes handler_table.
+        exe.load(3, 0, 0);
+        exe.aluImm(AluOp::And, 3, 0xFF);
+        exe.cmpImm(3, static_cast<int64_t>(spec.numHandlers));
+        exe.jcc(Cond::Lt, "ps_ok");
+        exe.movImm(3, 0);
+        exe.label("ps_ok");
+        exe.aluImm(AluOp::Shl, 3, 3);
+        exe.movImmData(5, "handler_table");
+        exe.alu(AluOp::Add, 5, 3);
+        exe.load(6, 5, 0);
+        exe.movImm(1, static_cast<int64_t>(request_size));
+        exe.callInd(6);                 // handler(buf, len)
+        exe.ret();
+    }
+
+    // --- request entry: parser state machine ---------------------------
+    exe.function("handle_request", /*exported=*/false);
+    exe.load(3, 0, 0);
+    exe.movReg(4, 3);
+    exe.aluImm(AluOp::Shr, 4, 8);
+    exe.aluImm(AluOp::And, 4, 0xFF);
+    exe.cmpImm(4, static_cast<int64_t>(spec.numParserStates));
+    exe.jcc(Cond::Lt, "hr_ok");
+    exe.movImm(4, 0);
+    exe.label("hr_ok");
+    exe.aluImm(AluOp::Shl, 4, 3);
+    exe.movImmData(5, "parser_table");
+    exe.alu(AluOp::Add, 5, 4);
+    exe.load(5, 5, 0);
+    exe.jmpInd(5);                      // tail dispatch to pstate_*
+    exe.jumpTableHint("parser_table",
+                      static_cast<uint32_t>(spec.numParserStates));
+
+    // --- signal handler (address-taken via sigaction) --------------------
+    exe.function("sig_handler", /*exported=*/false);
+    exe.aluImm(AluOp::Add, 6, 1);
+    exe.ret();
+
+    if (spec.implantVuln) {
+        // Disabled administrative functionality: its address appears
+        // nowhere (not address-taken), so no legitimate indirect
+        // transfer can reach it — the COOP attack's destination.
+        exe.function("maintenance_mode", /*exported=*/false);
+        exe.movImm(6, 0);
+        exe.label("mm_loop");
+        exe.cmpImm(6, 8);
+        exe.jcc(Cond::Ge, "mm_done");
+        exe.aluImm(AluOp::Add, 10, 3);
+        exe.aluImm(AluOp::Add, 6, 1);
+        exe.jmp("mm_loop");
+        exe.label("mm_done");
+        exe.ret();
+        // The stats array the debug command indexes; the dispatch
+        // table sits above it in the data segment.
+        exe.dataBss("stats_array", 64, /*exported=*/false);
+    }
+
+    // --- main ------------------------------------------------------------
+    exe.function("main");
+    exe.movImm(0, 11);
+    exe.movImmFunc(1, "sig_handler");
+    exe.callExt("sigaction_install");
+    exe.callExt("sys_socket");
+    exe.aluImm(AluOp::Sub, sp_reg, 512);
+    exe.movReg(13, sp_reg);             // request buffer base
+    exe.label("accept_loop");
+    exe.callExt("sys_accept");
+    exe.cmpImm(0, 0);
+    exe.jcc(Cond::Eq, "srv_done");
+    exe.movImm(0, conn_fd);
+    exe.movReg(1, 13);
+    exe.movImm(2, static_cast<int64_t>(request_size));
+    exe.callExt("recv_buf");
+    exe.cmpImm(0, 0);
+    exe.jcc(Cond::Eq, "srv_done");
+    exe.movReg(0, 13);
+    exe.call("handle_request");
+    exe.movImm(0, conn_fd);
+    exe.movReg(1, 13);
+    exe.movImm(2, 16);
+    exe.callExt("write_buf");   // response via write(): an endpoint
+    exe.callExt("gettimeofday");
+    exe.jmp("accept_loop");
+    exe.label("srv_done");
+    exe.movImm(0, 0);
+    exe.callExt("sys_exit");
+    exe.halt();
+
+    // --- filler bulk + tables ----------------------------------------------
+    emitFillers(exe, rng, spec.numFillerFuncs, "filler_x",
+                /*with_dispatch=*/true);
+
+    exe.funcPtrTable("handler_table", handler_names,
+                     /*exported=*/false);
+    exe.funcPtrTable("parser_table", state_names, /*exported=*/false);
+    if (spec.fillerTableSlots > 0) {
+        std::vector<std::string> slots;
+        for (size_t i = 0; i < spec.fillerTableSlots; ++i)
+            slots.push_back("filler_x_" + std::to_string(
+                rng.below(spec.numFillerFuncs)));
+        exe.funcPtrTable("filler_table", slots, /*exported=*/false);
+    }
+
+    SyntheticApp app;
+    app.name = spec.name;
+    app.program = Loader()
+        .addExecutable(exe.build())
+        .addLibrary(buildLibc())
+        .addVdso(buildVdso())
+        .cr3(spec.cr3)
+        .link();
+    return app;
+}
+
+SyntheticApp
+buildUtilityApp(const UtilitySpec &spec)
+{
+    Rng rng(spec.seed);
+    ModuleBuilder exe(spec.name, ModuleKind::Executable);
+    exe.needs("libc");
+
+    switch (spec.kind) {
+      case UtilityKind::Dd: {
+        // One big read, a long word-copy loop, one write: very few
+        // distinct branches and hardly any syscalls.
+        exe.dataBss("io_buf", 4096, /*exported=*/false);
+        exe.function("main");
+        exe.movImm(0, 0);
+        exe.movImmData(1, "io_buf");
+        exe.movImm(2, 2048);
+        exe.callExt("read_buf");
+        exe.movImm(6, 0);
+        exe.label("dd_loop");
+        exe.cmpImm(6, static_cast<int64_t>(spec.records * 16));
+        exe.jcc(Cond::Ge, "dd_done");
+        exe.movReg(7, 6);
+        exe.aluImm(AluOp::And, 7, 0xFF);
+        exe.aluImm(AluOp::Shl, 7, 3);
+        exe.movImmData(8, "io_buf");
+        exe.alu(AluOp::Add, 8, 7);
+        exe.load(9, 8, 0);
+        exe.aluImm(AluOp::Add, 9, 1);
+        exe.store(8, 2048, 9);
+        exe.aluImm(AluOp::Add, 6, 1);
+        exe.jmp("dd_loop");
+        exe.label("dd_done");
+        exe.movImm(0, 1);
+        exe.movImmData(1, "io_buf");
+        exe.movImm(2, 64);
+        exe.callExt("write_buf");
+        exe.movImm(0, 0);
+        exe.callExt("sys_exit");
+        exe.halt();
+        break;
+      }
+
+      case UtilityKind::Tar: {
+        // Per-record: read a header, then real compression-ish work
+        // (many checksum passes over the block) before emitting it.
+        // Work dwarfs syscall count, like archiving real files.
+        exe.dataBss("rec_buf", 512, /*exported=*/false);
+        exe.function("main");
+        exe.movImm(10, 0);              // record counter
+        exe.label("tar_loop");
+        exe.cmpImm(10, static_cast<int64_t>(spec.records));
+        exe.jcc(Cond::Ge, "tar_done");
+        exe.movImm(0, 0);
+        exe.movImmData(1, "rec_buf");
+        exe.movImm(2, 32);
+        exe.callExt("read_buf");
+        exe.movImm(11, 0);              // pass counter
+        exe.label("tar_pass");
+        exe.cmpImm(11, 120);
+        exe.jcc(Cond::Ge, "tar_emit");
+        exe.movImmData(0, "rec_buf");
+        exe.movImm(1, 64);
+        exe.callExt("checksum");
+        exe.aluImm(AluOp::Add, 11, 1);
+        exe.jmp("tar_pass");
+        exe.label("tar_emit");
+        exe.cmpImm(0, 0);
+        exe.jcc(Cond::Eq, "tar_skip");
+        exe.movImm(0, 1);
+        exe.movImmData(1, "rec_buf");
+        exe.movImm(2, 8);
+        exe.callExt("write_buf");
+        exe.label("tar_skip");
+        exe.aluImm(AluOp::Add, 10, 1);
+        exe.jmp("tar_loop");
+        exe.label("tar_done");
+        exe.movImm(0, 0);
+        exe.callExt("sys_exit");
+        exe.halt();
+        break;
+      }
+
+      case UtilityKind::Make: {
+        // A dependency DAG walk: target_i "rebuilds" by consulting
+        // timestamps and invoking its prerequisites.
+        const size_t targets = 12;
+        for (size_t t = targets; t-- > 0;) {
+            exe.function("target_" + std::to_string(t),
+                         /*exported=*/false);
+            // "Rebuild" work: a dependency-scan loop per target.
+            exe.movImm(11, 0);
+            exe.label("dep_scan");
+            exe.cmpImm(11, 40);
+            exe.jcc(Cond::Ge, "dep_done");
+            emitAluMix(exe, rng, 4);
+            exe.aluImm(AluOp::Add, 11, 1);
+            exe.jmp("dep_scan");
+            exe.label("dep_done");
+            if (t + 1 < targets)
+                exe.call("target_" + std::to_string(t + 1));
+            if (t + 2 < targets && rng.chance(0.5))
+                exe.call("target_" + std::to_string(t + 2));
+            exe.ret();
+        }
+        exe.function("main");
+        exe.movImm(10, 0);
+        exe.label("mk_loop");
+        exe.cmpImm(10, static_cast<int64_t>(spec.records / 8 + 1));
+        exe.jcc(Cond::Ge, "mk_done");
+        exe.call("target_0");
+        exe.callExt("sys_open");
+        exe.callExt("sys_close");
+        exe.aluImm(AluOp::Add, 10, 1);
+        exe.jmp("mk_loop");
+        exe.label("mk_done");
+        exe.movImm(0, 0);
+        exe.callExt("sys_exit");
+        exe.halt();
+        break;
+      }
+
+      case UtilityKind::Scp: {
+        // Read / encrypt-ish (many mixing passes) / write pipeline,
+        // network-style chunking.
+        exe.dataBss("xfer_buf", 512, /*exported=*/false);
+        exe.function("main");
+        exe.movImm(10, 0);
+        exe.label("scp_loop");
+        exe.cmpImm(10, static_cast<int64_t>(spec.records));
+        exe.jcc(Cond::Ge, "scp_done");
+        exe.movImm(0, 0);
+        exe.movImmData(1, "xfer_buf");
+        exe.movImm(2, 16);
+        exe.callExt("read_buf");
+        exe.cmpImm(0, 0);
+        exe.jcc(Cond::Eq, "scp_done");
+        exe.movImm(11, 0);              // cipher pass counter
+        exe.label("scp_pass");
+        exe.cmpImm(11, 160);
+        exe.jcc(Cond::Ge, "scp_emit");
+        exe.movImmData(0, "xfer_buf");
+        exe.movImm(1, 64);
+        exe.callExt("checksum");
+        exe.aluImm(AluOp::Add, 11, 1);
+        exe.jmp("scp_pass");
+        exe.label("scp_emit");
+        exe.movImm(0, 1);
+        exe.movImmData(1, "xfer_buf");
+        exe.movImm(2, 16);
+        exe.callExt("write_buf");
+        exe.aluImm(AluOp::Add, 10, 1);
+        exe.jmp("scp_loop");
+        exe.label("scp_done");
+        exe.movImm(0, 0);
+        exe.callExt("sys_exit");
+        exe.halt();
+        break;
+      }
+    }
+
+    SyntheticApp app;
+    app.name = spec.name;
+    app.program = Loader()
+        .addExecutable(exe.build())
+        .addLibrary(buildLibc())
+        .addVdso(buildVdso())
+        .cr3(spec.cr3)
+        .link();
+    return app;
+}
+
+SyntheticApp
+buildSpecKernel(const SpecKernelSpec &spec)
+{
+    Rng rng(spec.seed);
+    ModuleBuilder exe(spec.name, ModuleKind::Executable);
+    exe.needs("libc");
+    exe.dataBss("work_arr", 2048, /*exported=*/false);
+
+    // Indirect-call targets ("codec stages" in the h264ref analogy).
+    const size_t ops = spec.indirectPerIter > 0 ? 4 : 0;
+    std::vector<std::string> op_names;
+    for (size_t k = 0; k < ops; ++k) {
+        const std::string name = "op_" + std::to_string(k);
+        op_names.push_back(name);
+        exe.function(name, /*exported=*/false);
+        exe.alu(AluOp::Add, 6, 0);      // consumes r0
+        emitAluMix(exe, rng, 2);
+        exe.movReg(0, 6);
+        exe.ret();
+    }
+    if (ops > 0)
+        exe.funcPtrTable("op_table", op_names, /*exported=*/false);
+
+    for (size_t k = 0; k < spec.helperFuncs; ++k) {
+        exe.function("helper_" + std::to_string(k),
+                     /*exported=*/false);
+        emitAluMix(exe, rng, rng.range(2, 5));
+        exe.ret();
+    }
+
+    exe.function("main");
+    exe.movImm(10, 0x1234);
+    exe.movImm(11, static_cast<int64_t>(spec.iterations));
+    exe.label("outer");
+    exe.cmpImm(11, 0);
+    exe.jcc(Cond::Eq, "done");
+    exe.aluImm(AluOp::Sub, 11, 1);
+    emitAluMix(exe, rng, spec.aluPerIter);
+    for (size_t l = 0; l < spec.loadsPerIter; ++l) {
+        exe.movReg(7, 10);
+        exe.aluImm(AluOp::And, 7, 0xF8);
+        exe.movImmData(8, "work_arr");
+        exe.alu(AluOp::Add, 8, 7);
+        exe.load(9, 8, 0);
+        exe.alu(AluOp::Add, 10, 9);
+        exe.store(8, 1024, 10);
+    }
+    for (size_t b = 0; b < spec.branchesPerIter; ++b) {
+        const std::string skip = "b_skip_" + std::to_string(b);
+        exe.cmpImm(10, static_cast<int64_t>(rng.range(1, 1'000'000)));
+        exe.jcc(rng.chance(0.5) ? Cond::Lt : Cond::Ge, skip);
+        exe.aluImm(AluOp::Add, 12, 1);
+        exe.label(skip);
+    }
+    for (size_t c = 0; c < std::min<size_t>(spec.helperFuncs, 2);
+         ++c) {
+        exe.call("helper_" + std::to_string(
+            rng.below(spec.helperFuncs)));
+    }
+    for (size_t n = 0; n < spec.indirectPerIter; ++n) {
+        exe.movReg(6, 10);
+        exe.aluImm(AluOp::And, 6, static_cast<int64_t>(ops - 1));
+        exe.aluImm(AluOp::Shl, 6, 3);
+        exe.movImmData(7, "op_table");
+        exe.alu(AluOp::Add, 7, 6);
+        exe.load(7, 7, 0);
+        exe.movReg(0, 10);
+        exe.callInd(7);
+        exe.alu(AluOp::Xor, 10, 0);
+    }
+    exe.jmp("outer");
+    exe.label("done");
+    exe.movImm(0, 0);
+    exe.callExt("sys_exit");
+    exe.halt();
+
+    SyntheticApp app;
+    app.name = spec.name;
+    app.program = Loader()
+        .addExecutable(exe.build())
+        .addLibrary(buildLibc())
+        .addVdso(buildVdso())
+        .cr3(spec.cr3)
+        .link();
+    return app;
+}
+
+std::vector<ServerSpec>
+serverSuite(bool implant_vuln)
+{
+    ServerSpec nginx;
+    nginx.name = "nginx";
+    nginx.numHandlers = 10;
+    nginx.numParserStates = 6;
+    nginx.numFillerFuncs = 140;
+    nginx.fillerTableSlots = 28;
+    nginx.workPerRequest = 4000;
+    nginx.seed = 11;
+    nginx.cr3 = 0x1100;
+    nginx.implantVuln = implant_vuln;
+
+    ServerSpec vsftpd;
+    vsftpd.name = "vsftpd";
+    vsftpd.numHandlers = 6;
+    vsftpd.numParserStates = 4;
+    vsftpd.numFillerFuncs = 70;
+    vsftpd.fillerTableSlots = 14;
+    vsftpd.workPerRequest = 5000;
+    vsftpd.seed = 12;
+    vsftpd.cr3 = 0x1200;
+
+    ServerSpec openssh;
+    openssh.name = "openssh";
+    openssh.numHandlers = 8;
+    openssh.numParserStates = 5;
+    openssh.numFillerFuncs = 110;
+    openssh.fillerTableSlots = 16;
+    openssh.workPerRequest = 3200;
+    openssh.seed = 13;
+    openssh.cr3 = 0x1300;
+
+    ServerSpec exim;
+    exim.name = "exim";
+    exim.numHandlers = 7;
+    exim.numParserStates = 5;
+    exim.numFillerFuncs = 90;
+    exim.fillerTableSlots = 18;
+    exim.workPerRequest = 4500;
+    exim.seed = 14;
+    exim.cr3 = 0x1400;
+
+    return {nginx, vsftpd, openssh, exim};
+}
+
+std::vector<UtilitySpec>
+utilitySuite()
+{
+    UtilitySpec tar{"tar", UtilityKind::Tar, 16, 21, 0x2100};
+    UtilitySpec make{"make", UtilityKind::Make, 64, 22, 0x2200};
+    UtilitySpec scp{"scp", UtilityKind::Scp, 16, 23, 0x2300};
+    UtilitySpec dd{"dd", UtilityKind::Dd, 16384, 24, 0x2400};
+    return {tar, make, scp, dd};
+}
+
+std::vector<SpecKernelSpec>
+specSuite()
+{
+    auto mk = [](const char *name, uint64_t iters, size_t alu,
+                 size_t br, size_t ind, size_t helpers, size_t loads,
+                 uint64_t seed, uint64_t cr3) {
+        SpecKernelSpec spec;
+        spec.name = name;
+        spec.iterations = iters;
+        spec.aluPerIter = alu;
+        spec.branchesPerIter = br;
+        spec.indirectPerIter = ind;
+        spec.helperFuncs = helpers;
+        spec.loadsPerIter = loads;
+        spec.seed = seed;
+        spec.cr3 = cr3;
+        return spec;
+    };
+    return {
+        mk("perlbench", 2200, 10, 6, 1, 6, 3, 31, 0x3100),
+        mk("bzip2", 2600, 14, 5, 0, 3, 4, 32, 0x3200),
+        mk("gcc", 2000, 8, 6, 2, 8, 4, 33, 0x3300),
+        mk("mcf", 2400, 6, 3, 0, 2, 8, 34, 0x3400),
+        mk("milc", 2600, 16, 2, 0, 3, 6, 35, 0x3500),
+        mk("gobmk", 2000, 8, 7, 1, 6, 3, 36, 0x3600),
+        mk("hmmer", 2800, 18, 3, 0, 2, 5, 37, 0x3700),
+        mk("sjeng", 2200, 8, 7, 1, 5, 3, 38, 0x3800),
+        mk("libquantum", 3000, 12, 2, 0, 2, 4, 39, 0x3900),
+        mk("h264ref", 2200, 2, 1, 8, 1, 1, 40, 0x3a00),
+        mk("lbm", 3000, 14, 1, 0, 1, 8, 41, 0x3b00),
+        mk("sphinx3", 2400, 10, 4, 1, 4, 5, 42, 0x3c00),
+    };
+}
+
+std::vector<uint8_t>
+makeRequest(uint8_t handler, uint8_t state,
+            const std::vector<uint64_t> &payload)
+{
+    std::vector<uint8_t> request(request_size, 0);
+    request[0] = handler;
+    request[1] = state;
+    size_t offset = 8;
+    for (uint64_t word : payload) {
+        if (offset + 8 > request_size)
+            break;
+        for (int b = 0; b < 8; ++b)
+            request[offset + static_cast<size_t>(b)] =
+                static_cast<uint8_t>(word >> (8 * b));
+        offset += 8;
+    }
+    return request;
+}
+
+std::vector<uint8_t>
+makeBenignStream(size_t requests, uint64_t seed, size_t num_handlers,
+                 size_t num_states)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> stream;
+    stream.reserve(requests * request_size);
+    for (size_t i = 0; i < requests; ++i) {
+        // Benign payloads stay short of the overflow: at most two
+        // nonzero words, then the zero terminator.
+        std::vector<uint64_t> payload;
+        const size_t words = rng.below(3);
+        for (size_t w = 0; w < words; ++w)
+            payload.push_back(rng.range(1, 250));
+        payload.push_back(0);
+        auto request = makeRequest(
+            static_cast<uint8_t>(rng.below(num_handlers)),
+            static_cast<uint8_t>(rng.below(num_states)), payload);
+        stream.insert(stream.end(), request.begin(), request.end());
+    }
+    return stream;
+}
+
+RunResult
+runOnce(const isa::Program &program, const std::vector<uint8_t> &input,
+        cpu::TraceSink *sink, uint64_t max_insts)
+{
+    cpu::Cpu cpu(program);
+    cpu::BasicKernel kernel;
+    kernel.setInput(input);
+    cpu.setSyscallHandler(&kernel);
+    if (sink)
+        cpu.addTraceSink(sink);
+    RunResult result;
+    result.stop = cpu.run(max_insts);
+    result.instructions = cpu.instCount();
+    result.syscalls = kernel.totalSyscalls();
+    return result;
+}
+
+} // namespace flowguard::workloads

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Synthetic application factory.
+ *
+ * The paper evaluates on nginx/vsftpd/openssh/exim, four Linux
+ * utilities and the SPEC CPU2006 C suite — none of which exist in
+ * this environment. These generators produce programs with the same
+ * *shape*: servers are request loops with indirect handler dispatch,
+ * a jump-table parser state machine, PLT calls into the shared libc,
+ * optionally an implanted stack-overflow vulnerability; utilities are
+ * short one-shot pipelines; SPEC-like kernels are CPU-bound loop
+ * nests whose branch/indirect densities are tuned per benchmark
+ * (including the h264ref-like indirect-call-heavy outlier).
+ *
+ * Everything is parameterized and seeded, so Table 4-scale CFGs and
+ * Figure 5-shape overheads are reproducible deterministically.
+ */
+
+#ifndef FLOWGUARD_WORKLOADS_APPS_HH
+#define FLOWGUARD_WORKLOADS_APPS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/basic_kernel.hh"
+#include "cpu/cpu.hh"
+#include "isa/program.hh"
+
+namespace flowguard::workloads {
+
+/** Fixed wire size of one server request (see makeRequest). */
+constexpr size_t request_size = 256;
+
+/** Words of local buffer in the vulnerable handler before the saved
+ *  return address (the overflow reaches the return address after
+ *  this many payload words). */
+constexpr size_t vuln_buffer_words = 3;
+
+/** Magic word gating the implanted debug-command write primitive in
+ *  handler 1 of vulnerable servers (the data-only COOP vector). */
+constexpr int64_t vuln_debug_magic = 0x0DDC0FFEE0DDC0FFLL;
+
+struct ServerSpec
+{
+    std::string name = "nginx";
+    size_t numHandlers = 8;         ///< indirect dispatch fan-out
+    size_t numParserStates = 4;     ///< jump-table state machine
+    size_t numFillerFuncs = 96;     ///< CFG bulk in the executable
+    size_t fillerTableSlots = 24;   ///< address-taken filler subset
+    size_t workPerRequest = 24;     ///< handler inner-loop iterations
+    bool implantVuln = false;       ///< handler 0 uses strcpy_w
+    uint64_t seed = 1;
+    uint64_t cr3 = 0x1000;
+};
+
+enum class UtilityKind { Tar, Dd, Make, Scp };
+
+struct UtilitySpec
+{
+    std::string name = "tar";
+    UtilityKind kind = UtilityKind::Tar;
+    size_t records = 64;
+    uint64_t seed = 2;
+    uint64_t cr3 = 0x2000;
+};
+
+struct SpecKernelSpec
+{
+    std::string name;
+    uint64_t iterations = 2000;
+    size_t aluPerIter = 16;
+    size_t branchesPerIter = 4;     ///< data-dependent conditionals
+    size_t indirectPerIter = 0;     ///< indirect calls per iteration
+    size_t helperFuncs = 4;         ///< direct-called helpers
+    size_t loadsPerIter = 4;
+    uint64_t seed = 3;
+    uint64_t cr3 = 0x3000;
+};
+
+/** A generated application: the program plus driving metadata. */
+struct SyntheticApp
+{
+    std::string name;
+    isa::Program program;
+};
+
+SyntheticApp buildServerApp(const ServerSpec &spec);
+SyntheticApp buildUtilityApp(const UtilitySpec &spec);
+SyntheticApp buildSpecKernel(const SpecKernelSpec &spec);
+
+/** The paper's four servers, sized apart (Table 4). Vulnerable nginx
+ *  when `implant_vuln`. */
+std::vector<ServerSpec> serverSuite(bool implant_vuln = false);
+
+/** tar / dd / make / scp analogues (Figure 5b). */
+std::vector<UtilitySpec> utilitySuite();
+
+/** The 12 SPEC CPU2006 C benchmarks' analogues (Figure 5c). */
+std::vector<SpecKernelSpec> specSuite();
+
+/** Builds one well-formed request: type byte, parser-state byte,
+ *  then payload words (zero-padded, zero-terminated). */
+std::vector<uint8_t> makeRequest(uint8_t handler, uint8_t state,
+                                 const std::vector<uint64_t> &payload);
+
+/** Concatenates several benign requests into an input stream. */
+std::vector<uint8_t> makeBenignStream(size_t requests, uint64_t seed,
+                                      size_t num_handlers,
+                                      size_t num_states);
+
+/** Outcome of one driven execution. */
+struct RunResult
+{
+    cpu::Cpu::Stop stop = cpu::Cpu::Stop::Halted;
+    uint64_t instructions = 0;
+    uint64_t syscalls = 0;
+};
+
+/**
+ * Runs a program to completion on `input` under a BasicKernel, with
+ * an optional TraceSink attached — the standard harness for fuzzing
+ * and for unprotected baselines.
+ */
+RunResult runOnce(const isa::Program &program,
+                  const std::vector<uint8_t> &input,
+                  cpu::TraceSink *sink = nullptr,
+                  uint64_t max_insts = 20'000'000);
+
+} // namespace flowguard::workloads
+
+#endif // FLOWGUARD_WORKLOADS_APPS_HH

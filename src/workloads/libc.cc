@@ -1,0 +1,174 @@
+#include "workloads/libc.hh"
+
+#include "isa/builder.hh"
+#include "isa/syscalls.hh"
+
+namespace flowguard::workloads {
+
+using namespace isa;
+
+Module
+buildLibc()
+{
+    ModuleBuilder lib("libc", ModuleKind::SharedLib);
+
+    // memcpy(dst=r0, src=r1, nwords=r2)
+    lib.function("memcpy");
+    lib.label("copy_loop");
+    lib.cmpImm(2, 0);
+    lib.jcc(Cond::Eq, "copy_done");
+    lib.load(6, 1, 0);
+    lib.store(0, 0, 6);
+    lib.aluImm(AluOp::Add, 0, 8);
+    lib.aluImm(AluOp::Add, 1, 8);
+    lib.aluImm(AluOp::Sub, 2, 1);
+    lib.jmp("copy_loop");
+    lib.label("copy_done");
+    lib.ret();
+
+    // strcpy_w(dst=r0, src=r1): copies words until an all-zero word.
+    // No bound on the destination — the classic overflow primitive.
+    lib.function("strcpy_w");
+    lib.label("scpy_loop");
+    lib.load(6, 1, 0);
+    lib.cmpImm(6, 0);
+    lib.jcc(Cond::Eq, "scpy_done");
+    lib.store(0, 0, 6);
+    lib.aluImm(AluOp::Add, 0, 8);
+    lib.aluImm(AluOp::Add, 1, 8);
+    lib.jmp("scpy_loop");
+    lib.label("scpy_done");
+    lib.store(0, 0, 6);
+    lib.ret();
+
+    // memset_w(dst=r0, value=r1, nwords=r2)
+    lib.function("memset_w");
+    lib.label("mset_loop");
+    lib.cmpImm(2, 0);
+    lib.jcc(Cond::Eq, "mset_done");
+    lib.store(0, 0, 1);
+    lib.aluImm(AluOp::Add, 0, 8);
+    lib.aluImm(AluOp::Sub, 2, 1);
+    lib.jmp("mset_loop");
+    lib.label("mset_done");
+    lib.ret();
+
+    // checksum(buf=r0, nwords=r1) -> r0
+    lib.function("checksum");
+    lib.movImm(6, 0);
+    lib.label("ck_loop");
+    lib.cmpImm(1, 0);
+    lib.jcc(Cond::Eq, "ck_done");
+    lib.load(7, 0, 0);
+    lib.alu(AluOp::Xor, 6, 7);
+    lib.aluImm(AluOp::Add, 0, 8);
+    lib.aluImm(AluOp::Sub, 1, 1);
+    lib.jmp("ck_loop");
+    lib.label("ck_done");
+    lib.movReg(0, 6);
+    lib.ret();
+
+    // Syscall wrappers: arguments already sit in r0..r2.
+    lib.function("read_buf");
+    lib.syscall(static_cast<int64_t>(Syscall::Read));
+    lib.ret();
+    lib.function("write_buf");
+    lib.syscall(static_cast<int64_t>(Syscall::Write));
+    lib.ret();
+    lib.function("recv_buf");
+    lib.syscall(static_cast<int64_t>(Syscall::Recv));
+    lib.ret();
+    lib.function("send_buf");
+    lib.syscall(static_cast<int64_t>(Syscall::Send));
+    lib.ret();
+    lib.function("sys_accept");
+    lib.syscall(static_cast<int64_t>(Syscall::Accept));
+    lib.ret();
+    lib.function("sys_socket");
+    lib.syscall(static_cast<int64_t>(Syscall::Socket));
+    lib.ret();
+    lib.function("sys_open");
+    lib.syscall(static_cast<int64_t>(Syscall::Open));
+    lib.ret();
+    lib.function("sys_close");
+    lib.syscall(static_cast<int64_t>(Syscall::Close));
+    lib.ret();
+    lib.function("sys_exit");
+    lib.syscall(static_cast<int64_t>(Syscall::Exit));
+    lib.ret();
+    lib.function("sys_mprotect");
+    lib.syscall(static_cast<int64_t>(Syscall::Mprotect));
+    lib.ret();
+
+    // gettimeofday(): the syscall fallback. When a VDSO is loaded its
+    // export interposes on this one (§4.1 VDSO precedence).
+    lib.function("gettimeofday");
+    lib.syscall(static_cast<int64_t>(Syscall::Gettimeofday));
+    lib.ret();
+
+    // malloc(nbytes=r0) -> r0: bump allocator over a lazily mmap'd
+    // arena. State: [cursor] in the data segment.
+    lib.dataBss("malloc_state", 16, /*exported=*/false);
+    lib.function("malloc");
+    lib.movImmData(6, "malloc_state");
+    lib.load(7, 6, 0);              // cursor
+    lib.cmpImm(7, 0);
+    lib.jcc(Cond::Ne, "m_have");
+    lib.movReg(8, 0);               // save n
+    lib.movImm(0, 1 << 20);
+    lib.syscall(static_cast<int64_t>(Syscall::Mmap));
+    lib.movReg(7, 0);               // arena base
+    lib.movReg(0, 8);               // restore n
+    lib.label("m_have");
+    lib.aluImm(AluOp::Add, 0, 7);   // round n up to 8
+    lib.aluImm(AluOp::And, 0, -8);
+    lib.movReg(9, 7);               // result = old cursor
+    lib.alu(AluOp::Add, 7, 0);
+    lib.store(6, 0, 7);             // store new cursor
+    lib.movReg(0, 9);
+    lib.ret();
+
+    // sigaction_install(sig=r0, handler=r1): registers the handler
+    // and, like glibc, passes the restorer trampoline along.
+    lib.function("sigaction_install");
+    lib.syscall(static_cast<int64_t>(Syscall::Sigaction));
+    lib.ret();
+
+    // The sigreturn trampoline (glibc's __restore_rt). Its address is
+    // taken via the signal machinery, making it reachable gadget
+    // material for SROP.
+    lib.dataObject("restore_rt_ref", std::vector<uint8_t>(8, 0),
+                   {{0, "restore_rt", false}}, /*exported=*/false);
+    lib.function("restore_rt");
+    lib.syscall(static_cast<int64_t>(Syscall::Sigreturn));
+    lib.ret();
+
+    // ctx_restore(): longjmp-style context restore. Its epilogue is
+    // the canonical "pop r2; pop r1; pop r0; ret" gadget chain.
+    lib.function("ctx_restore");
+    lib.load(2, sp_reg, 0);
+    lib.aluImm(AluOp::Add, sp_reg, 8);
+    lib.load(1, sp_reg, 0);
+    lib.aluImm(AluOp::Add, sp_reg, 8);
+    lib.load(0, sp_reg, 0);
+    lib.aluImm(AluOp::Add, sp_reg, 8);
+    lib.ret();
+
+    return lib.build();
+}
+
+Module
+buildVdso()
+{
+    ModuleBuilder vdso("vdso", ModuleKind::Vdso);
+    vdso.dataBss("vvar_time", 8, /*exported=*/false);
+    vdso.function("gettimeofday");
+    vdso.movImmData(6, "vvar_time");
+    vdso.load(0, 6, 0);
+    vdso.aluImm(AluOp::Add, 0, 1);
+    vdso.store(6, 0, 0);
+    vdso.ret();
+    return vdso.build();
+}
+
+} // namespace flowguard::workloads

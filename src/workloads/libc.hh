@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The synthetic C library shared by every workload.
+ *
+ * Provides the services the applications need (memcpy, the
+ * deliberately unsafe strcpy analogue, syscall wrappers, a malloc,
+ * a sigreturn trampoline like glibc's __restore_rt) and — exactly as
+ * a real libc does — a supply of ROP gadget material: functions whose
+ * epilogues restore registers from the stack ("pop rX; ret"
+ * sequences, in the spirit of setjmp/longjmp and __libc_csu_init).
+ *
+ * All copies operate on 64-bit words (the ISA's memory granule); a
+ * "string" is terminated by an all-zero word.
+ */
+
+#ifndef FLOWGUARD_WORKLOADS_LIBC_HH
+#define FLOWGUARD_WORKLOADS_LIBC_HH
+
+#include "isa/module.hh"
+
+namespace flowguard::workloads {
+
+/**
+ * Builds the libc module. Exported functions:
+ *
+ *  - memcpy(dst=r0, src=r1, nwords=r2)
+ *  - strcpy_w(dst=r0, src=r1)            unbounded word copy (vuln!)
+ *  - read_buf(fd=r0, buf=r1, n=r2)       read() wrapper
+ *  - write_buf(fd=r0, buf=r1, n=r2)      write() wrapper
+ *  - recv_buf / send_buf                  socket flavors
+ *  - malloc(n=r0)                         bump allocator over mmap
+ *  - gettimeofday()                       syscall fallback (the VDSO
+ *                                         interposes when present)
+ *  - sigaction_install(sig=r0, fn=r1)
+ *  - restore_rt()                         the sigreturn trampoline
+ *  - ctx_restore()                        pop r2; pop r1; pop r0; ret
+ *                                         (longjmp-style epilogue)
+ *  - checksum(buf=r0, nwords=r1)
+ */
+isa::Module buildLibc();
+
+/** Builds the VDSO module exporting the fast gettimeofday. */
+isa::Module buildVdso();
+
+} // namespace flowguard::workloads
+
+#endif // FLOWGUARD_WORKLOADS_LIBC_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the AIA metrics and Table 4 statistics on graphs with
+ * known expected values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/aia.hh"
+#include "analysis/cfg_builder.hh"
+#include "analysis/itc_cfg.hh"
+#include "isa/builder.hh"
+#include "isa/loader.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::isa;
+using namespace flowguard::analysis;
+
+TEST(Aia, HandComputableGraph)
+{
+    // One indirect call with 2 targets; two rets each with 1 target.
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.funcPtrTable("tbl", {"a", "b"});
+    mod.function("a", /*exported=*/false);
+    mod.ret();
+    mod.function("b", /*exported=*/false);
+    mod.ret();
+    mod.function("main");
+    mod.movImmData(1, "tbl");
+    mod.load(2, 1, 0);
+    mod.callInd(2);
+    mod.halt();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    Cfg cfg = buildCfg(prog);
+    ItcCfg itc = ItcCfg::build(cfg);
+    AiaReport report = computeAia(cfg, itc);
+
+    // Sites: callInd (|T|=2), a.ret (1), b.ret (1) -> AIA = 4/3.
+    EXPECT_EQ(report.indirectSites, 3u);
+    EXPECT_NEAR(report.ocfg, 4.0 / 3.0, 1e-9);
+    // Fine-grained: rets collapse to 1 (they already are), calls keep
+    // the TypeArmor set.
+    EXPECT_NEAR(report.fine, 4.0 / 3.0, 1e-9);
+    // TNT labeling restores O-CFG precision by construction.
+    EXPECT_DOUBLE_EQ(report.itcWithTnt, report.ocfg);
+    EXPECT_GT(report.itc, 0.0);
+}
+
+TEST(Aia, CredRatioInterpolation)
+{
+    AiaReport report;
+    report.fine = 10.0;
+    report.itc = 100.0;
+    EXPECT_DOUBLE_EQ(report.atCredRatio(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(report.atCredRatio(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(report.atCredRatio(0.5), 55.0);
+}
+
+TEST(Aia, TrainedReflectsCredits)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.funcPtrTable("tbl", {"a", "b"});
+    mod.function("a", /*exported=*/false);
+    mod.ret();
+    mod.function("b", /*exported=*/false);
+    mod.ret();
+    mod.function("main");
+    mod.movImmData(1, "tbl");
+    mod.load(2, 1, 0);
+    mod.callInd(2);
+    mod.halt();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    Cfg cfg = buildCfg(prog);
+    ItcCfg itc = ItcCfg::build(cfg);
+
+    const double untrained = computeAia(cfg, itc).trained;
+    EXPECT_DOUBLE_EQ(untrained, 0.0);
+    for (size_t e = 0; e < itc.numEdges(); ++e)
+        itc.setHighCredit(static_cast<int64_t>(e));
+    const double fully = computeAia(cfg, itc).trained;
+    EXPECT_DOUBLE_EQ(fully, computeAia(cfg, itc).itc);
+}
+
+TEST(Aia, CfgStatsSplitExecAndLib)
+{
+    ModuleBuilder exe("exe", ModuleKind::Executable);
+    exe.function("main");
+    exe.callExt("f");
+    exe.halt();
+    ModuleBuilder lib("lib", ModuleKind::SharedLib);
+    lib.function("f");
+    lib.nop();
+    lib.ret();
+    Program prog = Loader()
+        .addExecutable(exe.build())
+        .addLibrary(lib.build())
+        .link();
+    Cfg cfg = buildCfg(prog);
+    ItcCfg itc = ItcCfg::build(cfg);
+    CfgStats stats = computeCfgStats(cfg, itc);
+    EXPECT_EQ(stats.libraryCount, 1u);
+    EXPECT_GT(stats.execBlocks, 0u);
+    EXPECT_GT(stats.libBlocks, 0u);
+    EXPECT_EQ(stats.itcNodes, itc.numNodes());
+    EXPECT_EQ(stats.itcEdges, itc.numEdges());
+    EXPECT_GT(stats.execEdges + stats.libEdges, 0u);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the human-readable dump helpers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg_builder.hh"
+#include "analysis/dump.hh"
+#include "analysis/itc_cfg.hh"
+#include "workloads/apps.hh"
+
+namespace {
+
+using namespace flowguard;
+
+struct DumpFixture
+{
+    DumpFixture()
+    {
+        workloads::ServerSpec spec;
+        spec.name = "dumped";
+        spec.numHandlers = 2;
+        spec.numParserStates = 2;
+        spec.numFillerFuncs = 4;
+        spec.fillerTableSlots = 2;
+        spec.workPerRequest = 10;
+        app = workloads::buildServerApp(spec);
+        ta = analysis::analyzeTypeArmor(app.program);
+        cfg = std::make_unique<analysis::Cfg>(
+            analysis::buildCfg(app.program, &ta));
+        itc = std::make_unique<analysis::ItcCfg>(
+            analysis::ItcCfg::build(*cfg));
+    }
+
+    workloads::SyntheticApp app{};
+    analysis::TypeArmorInfo ta;
+    std::unique_ptr<analysis::Cfg> cfg;
+    std::unique_ptr<analysis::ItcCfg> itc;
+};
+
+TEST(Dump, FunctionListingShowsInstructions)
+{
+    DumpFixture fx;
+    std::ostringstream out;
+    analysis::dumpFunction(out, fx.app.program, "handle_request");
+    const std::string text = out.str();
+    EXPECT_NE(text.find("handle_request"), std::string::npos);
+    EXPECT_NE(text.find("jmp *"), std::string::npos);   // dispatch
+    EXPECT_NE(text.find("instructions"), std::string::npos);
+}
+
+TEST(Dump, MissingFunctionReported)
+{
+    DumpFixture fx;
+    std::ostringstream out;
+    analysis::dumpFunction(out, fx.app.program, "nope");
+    EXPECT_NE(out.str().find("no function"), std::string::npos);
+}
+
+TEST(Dump, ModuleMapListsAllModules)
+{
+    DumpFixture fx;
+    std::ostringstream out;
+    analysis::dumpModules(out, fx.app.program);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("dumped"), std::string::npos);
+    EXPECT_NE(text.find("libc"), std::string::npos);
+    EXPECT_NE(text.find("vdso"), std::string::npos);
+    EXPECT_NE(text.find("exec"), std::string::npos);
+}
+
+TEST(Dump, CfgListingBoundedAndAnnotated)
+{
+    DumpFixture fx;
+    std::ostringstream out;
+    analysis::dumpCfg(out, *fx.cfg, 8);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("basic blocks"), std::string::npos);
+    EXPECT_NE(text.find("more)"), std::string::npos);   // truncated
+}
+
+TEST(Dump, ItcListingShowsCredits)
+{
+    DumpFixture fx;
+    // Label one edge to see it reflected.
+    fx.itc->setHighCredit(0);
+    std::ostringstream out;
+    analysis::dumpItcCfg(out, *fx.cfg, *fx.itc, 1000);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("IT-BBs"), std::string::npos);
+    EXPECT_NE(text.find("1 high-credit"), std::string::npos);
+}
+
+TEST(Dump, TypeArmorSummary)
+{
+    DumpFixture fx;
+    std::ostringstream out;
+    analysis::dumpTypeArmor(out, fx.app.program, fx.ta);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("address-taken"), std::string::npos);
+    EXPECT_NE(text.find("consumes"), std::string::npos);
+    EXPECT_NE(text.find("prepares"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the TypeArmor use-def/liveness analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/typearmor.hh"
+#include "isa/builder.hh"
+#include "isa/loader.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::isa;
+using namespace flowguard::analysis;
+
+uint8_t
+consumedOf(const Program &prog, const TypeArmorInfo &info,
+           const std::string &name)
+{
+    const auto &funcs = prog.functions();
+    for (size_t f = 0; f < funcs.size(); ++f)
+        if (funcs[f].name == name)
+            return info.consumedCount[f];
+    ADD_FAILURE() << "no function " << name;
+    return 0xFF;
+}
+
+TEST(TypeArmor, ReadsBeforeWritesAreConsumed)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.halt();
+    mod.function("takes3", /*exported=*/false);
+    mod.alu(AluOp::Add, 6, 0);
+    mod.alu(AluOp::Add, 6, 1);
+    mod.alu(AluOp::Add, 6, 2);
+    mod.ret();
+    mod.function("takes0", /*exported=*/false);
+    mod.movImm(0, 5);       // writes r0 before any read
+    mod.alu(AluOp::Add, 6, 0);
+    mod.ret();
+    mod.function("takes1_via_store", /*exported=*/false);
+    mod.store(14, -8, 0);   // reads r0 (and sp)
+    mod.ret();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    auto info = analyzeTypeArmor(prog);
+    EXPECT_EQ(consumedOf(prog, info, "takes3"), 3);
+    EXPECT_EQ(consumedOf(prog, info, "takes0"), 0);
+    EXPECT_EQ(consumedOf(prog, info, "takes1_via_store"), 1);
+}
+
+TEST(TypeArmor, MustDefineMergesConservatively)
+{
+    // r1 is defined on only one path before the read: consumed.
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.halt();
+    mod.function("merge", /*exported=*/false);
+    mod.cmpImm(6, 0);
+    mod.jcc(Cond::Eq, "joined");
+    mod.movImm(1, 7);               // defines r1 on one path only
+    mod.label("joined");
+    mod.alu(AluOp::Add, 6, 1);      // reads r1
+    mod.ret();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    auto info = analyzeTypeArmor(prog);
+    EXPECT_EQ(consumedOf(prog, info, "merge"), 2);
+    // (r1 consumed -> highest index 1 -> count 2)
+}
+
+TEST(TypeArmor, BothPathsDefiningIsNotConsumed)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.halt();
+    mod.function("both", /*exported=*/false);
+    mod.cmpImm(6, 0);
+    mod.jcc(Cond::Eq, "other");
+    mod.movImm(1, 7);
+    mod.jmp("joined");
+    mod.label("other");
+    mod.movImm(1, 8);
+    mod.label("joined");
+    mod.alu(AluOp::Add, 6, 1);
+    mod.ret();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    auto info = analyzeTypeArmor(prog);
+    EXPECT_EQ(consumedOf(prog, info, "both"), 0);
+}
+
+TEST(TypeArmor, ConsumptionAfterCallNotAttributed)
+{
+    // Reads after a call belong to post-call context, not the
+    // function's signature.
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.halt();
+    mod.function("caller", /*exported=*/false);
+    mod.call("main");
+    mod.alu(AluOp::Add, 6, 2);      // read of r2 after the call
+    mod.ret();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    auto info = analyzeTypeArmor(prog);
+    EXPECT_EQ(consumedOf(prog, info, "caller"), 0);
+}
+
+TEST(TypeArmor, PreparedCountsWritesSinceEntry)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("callee", /*exported=*/false);
+    mod.ret();
+    mod.function("main");
+    mod.movImm(0, 1);
+    mod.movImm(1, 2);
+    mod.movImmFunc(6, "callee");
+    mod.callInd(6);
+    mod.halt();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    auto info = analyzeTypeArmor(prog);
+    ASSERT_EQ(info.preparedCount.size(), 1u);
+    // r0 and r1 written, r2.. not: prepared = 2 (contiguous from r0).
+    EXPECT_EQ(info.preparedCount.begin()->second, 2);
+}
+
+TEST(TypeArmor, BarrierMakesEverythingPrepared)
+{
+    // A CoFI between entry and the call site hides earlier state:
+    // conservative analysis must assume all registers prepared.
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("callee", /*exported=*/false);
+    mod.ret();
+    mod.function("main");
+    mod.cmpImm(6, 0);
+    mod.jcc(Cond::Eq, "here");
+    mod.label("here");
+    mod.movImmFunc(6, "callee");
+    mod.callInd(6);
+    mod.halt();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    auto info = analyzeTypeArmor(prog);
+    ASSERT_EQ(info.preparedCount.size(), 1u);
+    EXPECT_EQ(info.preparedCount.begin()->second, isa::num_arg_regs);
+}
+
+TEST(TypeArmor, AddressTakenViaImmediateAndData)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.funcPtrTable("tbl", {"via_data"});
+    mod.function("via_imm", /*exported=*/false);
+    mod.ret();
+    mod.function("via_data", /*exported=*/false);
+    mod.ret();
+    mod.function("never_taken", /*exported=*/false);
+    mod.ret();
+    mod.function("main");
+    mod.movImmFunc(1, "via_imm");
+    mod.halt();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    auto info = analyzeTypeArmor(prog);
+    const auto &funcs = prog.functions();
+    for (size_t f = 0; f < funcs.size(); ++f) {
+        if (funcs[f].name == "via_imm" ||
+            funcs[f].name == "via_data") {
+            EXPECT_TRUE(info.addressTaken[f]) << funcs[f].name;
+        }
+        if (funcs[f].name == "never_taken") {
+            EXPECT_FALSE(info.addressTaken[f]);
+        }
+    }
+    EXPECT_EQ(info.addressTakenEntries.size(), 2u);
+}
+
+TEST(TypeArmor, CallAllowedIsMonotone)
+{
+    EXPECT_TRUE(TypeArmorInfo::callAllowed(6, 0));
+    EXPECT_TRUE(TypeArmorInfo::callAllowed(3, 3));
+    EXPECT_FALSE(TypeArmorInfo::callAllowed(2, 3));
+    EXPECT_TRUE(TypeArmorInfo::callAllowed(0, 0));
+}
+
+TEST(TypeArmor, LoopsReachFixpoint)
+{
+    // A loop whose body reads r0; the analysis must terminate and
+    // find the consumption.
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.halt();
+    mod.function("looper", /*exported=*/false);
+    mod.label("top");
+    mod.alu(AluOp::Add, 6, 0);
+    mod.cmpImm(6, 100);
+    mod.jcc(Cond::Lt, "top");
+    mod.ret();
+    Program prog = Loader().addExecutable(mod.build()).link();
+    auto info = analyzeTypeArmor(prog);
+    EXPECT_EQ(consumedOf(prog, info, "looper"), 1);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the gadget scanner and the attack chain builders'
+ * structural invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/chains.hh"
+#include "attacks/gadgets.hh"
+#include "workloads/apps.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::attacks;
+
+class GadgetsTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        app = new workloads::SyntheticApp(workloads::buildServerApp(
+            workloads::serverSuite(/*implant_vuln=*/true)[0]));
+        catalog = new GadgetCatalog(scanGadgets(app->program));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete app;
+        delete catalog;
+    }
+
+    static workloads::SyntheticApp *app;
+    static GadgetCatalog *catalog;
+};
+
+workloads::SyntheticApp *GadgetsTest::app = nullptr;
+GadgetCatalog *GadgetsTest::catalog = nullptr;
+
+TEST_F(GadgetsTest, FindsTheCtxRestorePopChain)
+{
+    const PopGadget *pop = catalog->findPop({0, 1, 2});
+    ASSERT_NE(pop, nullptr);
+    // ctx_restore pops r2, then r1, then r0.
+    ASSERT_EQ(pop->regs.size(), 3u);
+    EXPECT_EQ(pop->regs[0], 2);
+    EXPECT_EQ(pop->regs[1], 1);
+    EXPECT_EQ(pop->regs[2], 0);
+    EXPECT_EQ(pop->addr, app->program.funcAddr("libc", "ctx_restore"));
+}
+
+TEST_F(GadgetsTest, PopChainSuffixesAlsoFound)
+{
+    // Entering ctx_restore mid-way gives shorter pop gadgets.
+    EXPECT_NE(catalog->findPop({0}), nullptr);
+    EXPECT_NE(catalog->findPop({0, 1}), nullptr);
+    // findPop prefers the smallest covering gadget.
+    const PopGadget *small = catalog->findPop({0});
+    ASSERT_NE(small, nullptr);
+    EXPECT_LT(small->regs.size(), 3u);
+}
+
+TEST_F(GadgetsTest, SyscallGadgetsMatchLibcWrappers)
+{
+    EXPECT_EQ(catalog->findSyscall(
+                  static_cast<int64_t>(isa::Syscall::Write)),
+              app->program.funcAddr("libc", "write_buf"));
+    EXPECT_EQ(catalog->findSyscall(
+                  static_cast<int64_t>(isa::Syscall::Sigreturn)),
+              app->program.funcAddr("libc", "restore_rt"));
+    EXPECT_EQ(catalog->findSyscall(12345), 0u);
+}
+
+TEST_F(GadgetsTest, RetGadgetsAreRealRets)
+{
+    ASSERT_GT(catalog->retGadgets.size(), 50u);
+    for (size_t i = 0; i < 20; ++i) {
+        const isa::Instruction *inst =
+            app->program.fetch(catalog->retGadgets[i]);
+        ASSERT_NE(inst, nullptr);
+        EXPECT_EQ(inst->op, isa::Opcode::Ret);
+    }
+}
+
+TEST_F(GadgetsTest, FlushGadgetsAreCallPrecededAndQuick)
+{
+    ASSERT_GT(catalog->flushGadgets.size(), 5u);
+    for (const auto &flush : catalog->flushGadgets) {
+        const isa::Instruction *call =
+            app->program.fetch(flush.callAddr);
+        ASSERT_NE(call, nullptr);
+        EXPECT_EQ(call->op, isa::Opcode::Call);
+        EXPECT_EQ(flush.returnSite,
+                  flush.callAddr +
+                      isa::instSize(isa::Opcode::Call));
+    }
+}
+
+TEST_F(GadgetsTest, AttackRequestsAreWellFormed)
+{
+    for (const auto &attack :
+         {buildRopWriteAttack(app->program, *catalog),
+          buildSropAttack(app->program, *catalog),
+          buildRet2LibAttack(app->program, *catalog),
+          buildHistoryFlushAttack(app->program, *catalog, 10),
+          buildStealthRepairAttack(app->program, *catalog)}) {
+        EXPECT_EQ(attack.request.size(), workloads::request_size);
+        EXPECT_EQ(attack.request[0], 0);   // the vulnerable handler
+        EXPECT_FALSE(attack.description.empty());
+        EXPECT_NE(attack.expectedEndpoint, 0);
+    }
+}
+
+TEST_F(GadgetsTest, VulnLayoutMatchesExecution)
+{
+    // The attack builder's layout constants must equal where the
+    // overflow really lands: run a request whose payload is a
+    // recognizable word and look for it in memory.
+    auto layout = VulnLayout::forServer(app->program);
+    std::vector<uint64_t> payload{0x1111111111111111ULL, 0};
+    auto request = workloads::makeRequest(0, 0, payload);
+
+    cpu::Cpu cpu(app->program);
+    cpu::BasicKernel kernel;
+    kernel.setInput(request);
+    cpu.setSyscallHandler(&kernel);
+    // Run until the strcpy inside handler 0 has copied the word.
+    cpu.run(10'000'000);
+    EXPECT_EQ(cpu.memory().read64(layout.overflowDstAddr),
+              0x1111111111111111ULL);
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * End-to-end security tests (§7.1.2): the implanted-vulnerability
+ * nginx analogue under real exploitation.
+ *
+ *  - unprotected, the ROP chain actually exfiltrates data (the attack
+ *    is real, not asserted);
+ *  - protected, ROP is detected at the write endpoint and SROP at the
+ *    sigreturn endpoint, the process is SIGKILLed, and nothing is
+ *    written;
+ *  - benign traffic never trips the checker (no false positives);
+ *  - the history-flushing chain evades the 16-deep LBR kBouncer
+ *    baseline but not FlowGuard's >= 30-TIP window.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/chains.hh"
+#include "attacks/gadgets.hh"
+#include "core/flowguard.hh"
+#include "isa/syscalls.hh"
+#include "runtime/baselines.hh"
+#include "trace/lbr.hh"
+#include "workloads/apps.hh"
+
+namespace {
+
+using namespace flowguard;
+
+class AttackDetectionTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workloads::ServerSpec spec =
+            workloads::serverSuite(/*implant_vuln=*/true)[0];
+        app = new workloads::SyntheticApp(
+            workloads::buildServerApp(spec));
+        catalog = new attacks::GadgetCatalog(
+            attacks::scanGadgets(app->program));
+        spec_handlers = spec.numHandlers;
+        spec_states = spec.numParserStates;
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete app;
+        delete catalog;
+        app = nullptr;
+        catalog = nullptr;
+    }
+
+    FlowGuard
+    makeTrainedGuard()
+    {
+        FlowGuard guard(app->program);
+        guard.analyze();
+        // Train on benign request streams (corpus replay, no fuzzing
+        // budget needed for these tests).
+        std::vector<fuzz::Input> corpus;
+        for (uint64_t seed = 1; seed <= 6; ++seed)
+            corpus.push_back(workloads::makeBenignStream(
+                12, seed, spec_handlers, spec_states));
+        guard.trainWithCorpus(corpus);
+        return guard;
+    }
+
+    static workloads::SyntheticApp *app;
+    static attacks::GadgetCatalog *catalog;
+    static size_t spec_handlers;
+    static size_t spec_states;
+};
+
+workloads::SyntheticApp *AttackDetectionTest::app = nullptr;
+attacks::GadgetCatalog *AttackDetectionTest::catalog = nullptr;
+size_t AttackDetectionTest::spec_handlers = 0;
+size_t AttackDetectionTest::spec_states = 0;
+
+TEST_F(AttackDetectionTest, GadgetCatalogIsRich)
+{
+    EXPECT_NE(catalog->findPop({0, 1, 2}), nullptr);
+    EXPECT_NE(catalog->findSyscall(
+                  static_cast<int64_t>(isa::Syscall::Write)), 0u);
+    EXPECT_NE(catalog->findSyscall(
+                  static_cast<int64_t>(isa::Syscall::Sigreturn)), 0u);
+    EXPECT_GT(catalog->flushGadgets.size(), 10u);
+}
+
+TEST_F(AttackDetectionTest, RopSucceedsWithoutProtection)
+{
+    auto attack = attacks::buildRopWriteAttack(app->program, *catalog);
+    FlowGuard guard(app->program);
+    auto outcome = guard.runUnprotected(attack.request);
+    // The chain ends in the exit gadget: a clean, attacker-chosen
+    // exit after write() exfiltrated the payload bytes.
+    EXPECT_EQ(outcome.stop, cpu::Cpu::Stop::Halted);
+    ASSERT_GE(outcome.output.size(), 16u);
+    // write(1, overflowDst, 2 words): the first word is the 0x41...
+    // filler the overflow planted at the buffer base.
+    EXPECT_EQ(outcome.output[0], 0x41);
+    EXPECT_EQ(outcome.output[7], 0x41);
+}
+
+TEST_F(AttackDetectionTest, RopDetectedAtWriteEndpoint)
+{
+    auto attack = attacks::buildRopWriteAttack(app->program, *catalog);
+    FlowGuard guard = makeTrainedGuard();
+    auto outcome = guard.run(attack.request);
+    EXPECT_EQ(outcome.stop, cpu::Cpu::Stop::Killed);
+    ASSERT_TRUE(outcome.attackDetected);
+    EXPECT_EQ(outcome.violations.front().syscall,
+              attack.expectedEndpoint);
+    EXPECT_TRUE(outcome.output.empty());  // nothing exfiltrated
+}
+
+TEST_F(AttackDetectionTest, SropDetectedAtSigreturnEndpoint)
+{
+    auto attack = attacks::buildSropAttack(app->program, *catalog);
+    FlowGuard guard = makeTrainedGuard();
+    auto outcome = guard.run(attack.request);
+    EXPECT_EQ(outcome.stop, cpu::Cpu::Stop::Killed);
+    ASSERT_TRUE(outcome.attackDetected);
+    EXPECT_EQ(outcome.violations.front().syscall,
+              attack.expectedEndpoint);
+}
+
+TEST_F(AttackDetectionTest, SropSucceedsWithoutProtection)
+{
+    auto attack = attacks::buildSropAttack(app->program, *catalog);
+    FlowGuard guard(app->program);
+    auto outcome = guard.runUnprotected(attack.request);
+    EXPECT_EQ(outcome.stop, cpu::Cpu::Stop::Halted);
+    EXPECT_GE(outcome.output.size(), 16u);
+}
+
+TEST_F(AttackDetectionTest, Ret2LibDetected)
+{
+    auto attack = attacks::buildRet2LibAttack(app->program, *catalog);
+    FlowGuard guard = makeTrainedGuard();
+    auto outcome = guard.run(attack.request);
+    EXPECT_EQ(outcome.stop, cpu::Cpu::Stop::Killed);
+    EXPECT_TRUE(outcome.attackDetected);
+}
+
+TEST_F(AttackDetectionTest, BenignTrafficHasNoFalsePositives)
+{
+    FlowGuard guard = makeTrainedGuard();
+    for (uint64_t seed = 40; seed < 44; ++seed) {
+        auto input = workloads::makeBenignStream(
+            25, seed, spec_handlers, spec_states);
+        auto outcome = guard.run(input);
+        EXPECT_EQ(outcome.stop, cpu::Cpu::Stop::Halted);
+        EXPECT_FALSE(outcome.attackDetected);
+        EXPECT_GT(outcome.monitor.checks, 0u);
+    }
+}
+
+TEST_F(AttackDetectionTest, HistoryFlushEvadesLbrButNotFlowGuard)
+{
+    auto attack = attacks::buildHistoryFlushAttack(app->program,
+                                                   *catalog, 18);
+
+    // --- kBouncer-style baseline: 16-deep LBR at the endpoint ------------
+    // Run unprotected with an LBR attached; snapshot when the write
+    // endpoint fires. 18 matched call/return pairs have flushed the
+    // hijacking return out of the 16-entry history.
+    {
+        trace::LbrConfig lbr_config;
+        lbr_config.depth = 16;
+        trace::Lbr lbr(lbr_config);
+
+        cpu::Cpu cpu(app->program);
+        cpu::BasicKernel kernel;
+        kernel.setInput(attack.request);
+        cpu.setSyscallHandler(&kernel);
+        cpu.addTraceSink(&lbr);
+
+        bool lbr_flags = false;
+        bool saw_write = false;
+        while (cpu.state() == cpu::Cpu::Stop::Running) {
+            const isa::Instruction *inst = cpu.program().fetch(cpu.pc());
+            const bool at_write = inst &&
+                inst->op == isa::Opcode::Syscall &&
+                inst->imm == static_cast<int64_t>(isa::Syscall::Write);
+            if (cpu.step() != cpu::Cpu::Stop::Running)
+                break;
+            if (at_write) {
+                saw_write = true;
+                if (!runtime::kbouncerCheck(app->program,
+                                            lbr.snapshot()))
+                    lbr_flags = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(saw_write);
+        EXPECT_FALSE(lbr_flags)
+            << "flush chain should evade the LBR heuristic";
+    }
+
+    // --- FlowGuard: >= 30 TIPs cover the whole flush chain ---------------
+    FlowGuard guard = makeTrainedGuard();
+    auto outcome = guard.run(attack.request);
+    EXPECT_EQ(outcome.stop, cpu::Cpu::Stop::Killed);
+    EXPECT_TRUE(outcome.attackDetected);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the FlowGuard facade: lifecycle, idempotence, training
+ * entry points, outcome contents, baseline equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/flowguard.hh"
+#include "support/logging.hh"
+#include "workloads/apps.hh"
+
+namespace {
+
+using namespace flowguard;
+
+workloads::SyntheticApp
+miniApp()
+{
+    workloads::ServerSpec spec;
+    spec.name = "api";
+    spec.numHandlers = 2;
+    spec.numParserStates = 2;
+    spec.numFillerFuncs = 6;
+    spec.fillerTableSlots = 2;
+    spec.workPerRequest = 20;
+    spec.seed = 77;
+    return workloads::buildServerApp(spec);
+}
+
+TEST(FlowGuardApi, AccessorsRequireAnalyze)
+{
+    auto app = miniApp();
+    FlowGuard guard(app.program);
+    EXPECT_FALSE(guard.analyzed());
+    EXPECT_THROW(guard.ocfg(), SimError);
+    EXPECT_THROW(guard.itc(), SimError);
+    EXPECT_THROW(guard.typearmor(), SimError);
+    guard.analyze();
+    EXPECT_TRUE(guard.analyzed());
+    EXPECT_NO_THROW(guard.ocfg());
+}
+
+TEST(FlowGuardApi, AnalyzeIsIdempotent)
+{
+    auto app = miniApp();
+    FlowGuard guard(app.program);
+    guard.analyze();
+    const analysis::ItcCfg *first = &guard.itc();
+    guard.analyze();
+    EXPECT_EQ(first, &guard.itc());
+    EXPECT_GT(guard.analyzeSeconds(), 0.0);
+}
+
+TEST(FlowGuardApi, TrainRaisesCreditRatio)
+{
+    auto app = miniApp();
+    FlowGuard guard(app.program);
+    guard.analyze();
+    const double before = guard.itc().highCreditRatio();
+    guard.train(300, {workloads::makeBenignStream(3, 1, 2, 2)});
+    EXPECT_GT(guard.itc().highCreditRatio(), before);
+    ASSERT_NE(guard.fuzzer(), nullptr);
+    EXPECT_GT(guard.fuzzer()->executions(), 300u - 1);
+}
+
+TEST(FlowGuardApi, RunImplicitlyAnalyzes)
+{
+    auto app = miniApp();
+    FlowGuard guard(app.program);
+    auto outcome = guard.run(workloads::makeBenignStream(2, 9, 2, 2));
+    EXPECT_TRUE(guard.analyzed());
+    EXPECT_EQ(outcome.stop, cpu::Cpu::Stop::Halted);
+}
+
+TEST(FlowGuardApi, ProtectedAndBaselineAgreeOnBehaviour)
+{
+    auto app = miniApp();
+    FlowGuard guard(app.program);
+    guard.analyze();
+    guard.trainWithCorpus({workloads::makeBenignStream(4, 2, 2, 2)});
+    auto input = workloads::makeBenignStream(5, 3, 2, 2);
+    auto protected_run = guard.run(input);
+    auto baseline = guard.runUnprotected(input);
+    EXPECT_EQ(protected_run.stop, baseline.stop);
+    EXPECT_EQ(protected_run.exitCode, baseline.exitCode);
+    EXPECT_EQ(protected_run.output, baseline.output);
+    EXPECT_EQ(protected_run.instructions, baseline.instructions);
+    // Protection adds overhead cycles; the baseline has none.
+    EXPECT_GT(protected_run.cycles.overheadTotal(), 0.0);
+    EXPECT_DOUBLE_EQ(baseline.cycles.overheadTotal(), 0.0);
+}
+
+TEST(FlowGuardApi, OutcomeCarriesTraceStats)
+{
+    auto app = miniApp();
+    FlowGuard guard(app.program);
+    auto outcome = guard.run(workloads::makeBenignStream(3, 4, 2, 2));
+    EXPECT_GT(outcome.trace.bytes, 0u);
+    EXPECT_GT(outcome.trace.tipPackets, 0u);
+    EXPECT_GT(outcome.trace.psbPackets, 0u);
+    EXPECT_GT(outcome.cycles.trace, 0.0);
+}
+
+TEST(FlowGuardApi, AiaAndStatsExposed)
+{
+    auto app = miniApp();
+    FlowGuard guard(app.program);
+    guard.analyze();
+    auto aia = guard.aia();
+    EXPECT_GT(aia.indirectSites, 0u);
+    EXPECT_GT(aia.ocfg, 0.0);
+    auto stats = guard.cfgStats();
+    EXPECT_GT(stats.itcNodes, 0u);
+    EXPECT_EQ(stats.itcNodes, guard.itc().numNodes());
+}
+
+TEST(FlowGuardApi, CycleAccountArithmetic)
+{
+    cpu::CycleAccount a;
+    a.app = 100.0;
+    a.trace = 1.0;
+    a.decode = 2.0;
+    a.check = 3.0;
+    a.other = 4.0;
+    EXPECT_DOUBLE_EQ(a.overheadTotal(), 10.0);
+    EXPECT_DOUBLE_EQ(a.overheadRatio(), 0.1);
+    cpu::CycleAccount b = a;
+    b += a;
+    EXPECT_DOUBLE_EQ(b.app, 200.0);
+    EXPECT_DOUBLE_EQ(b.overheadTotal(), 20.0);
+    b.reset();
+    EXPECT_DOUBLE_EQ(b.overheadTotal(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the sparse memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/memory.hh"
+
+namespace {
+
+using flowguard::cpu::Memory;
+
+TEST(Memory, UntouchedReadsZero)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read8(0x1234), 0u);
+    EXPECT_EQ(mem.read64(0xdeadbeef), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(Memory, ByteRoundTrip)
+{
+    Memory mem;
+    mem.write8(0x42, 0xAB);
+    EXPECT_EQ(mem.read8(0x42), 0xAB);
+    EXPECT_EQ(mem.read8(0x43), 0u);
+}
+
+TEST(Memory, Word64RoundTrip)
+{
+    Memory mem;
+    mem.write64(0x1000, 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read64(0x1000), 0x1122334455667788ULL);
+    // Little-endian byte layout.
+    EXPECT_EQ(mem.read8(0x1000), 0x88);
+    EXPECT_EQ(mem.read8(0x1007), 0x11);
+}
+
+TEST(Memory, CrossPageWord)
+{
+    Memory mem;
+    const uint64_t addr = Memory::page_size - 3;
+    mem.write64(addr, 0xA1B2C3D4E5F60718ULL);
+    EXPECT_EQ(mem.read64(addr), 0xA1B2C3D4E5F60718ULL);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(Memory, BulkReadWrite)
+{
+    Memory mem;
+    std::vector<uint8_t> data{1, 2, 3, 4, 5};
+    mem.writeBytes(0x2000, data);
+    uint8_t out[5] = {};
+    mem.readBytes(0x2000, out, 5);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i], data[static_cast<size_t>(i)]);
+}
+
+TEST(Memory, ClearDropsEverything)
+{
+    Memory mem;
+    mem.write64(0x1000, 77);
+    mem.clear();
+    EXPECT_EQ(mem.read64(0x1000), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(Memory, HighAddressesWork)
+{
+    Memory mem;
+    const uint64_t addr = 0x7ffffffff000ULL - 8;
+    mem.write64(addr, 42);
+    EXPECT_EQ(mem.read64(addr), 42u);
+}
+
+} // namespace

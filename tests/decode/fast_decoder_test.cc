@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the packet-layer (fast) decoder: flow-step
+ * extraction, TNT attribution, windowed decoding from PSB sync
+ * points, and TIP-transition folding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "decode/fast_decoder.hh"
+#include "trace/ipt_packets.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::decode;
+using namespace flowguard::trace;
+
+/** Hand-builds a stream: PSB, TIP(a), TNT(1,0), TIP(b), FUP(c),
+ *  PGD, PGE(d), TNT(1), TIP(e). */
+std::vector<uint8_t>
+sampleStream()
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendPsb(bytes);
+    appendPsbEnd(bytes);
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    appendTnt(bytes, 0b01, 2);
+    appendTipClass(bytes, opcode::tip, 0x400200, last_ip);
+    appendTipClass(bytes, opcode::fup, 0x400208, last_ip);
+    appendTipClass(bytes, opcode::tip_pgd, 0, last_ip, true);
+    appendTipClass(bytes, opcode::tip_pge, 0x40020a, last_ip);
+    appendTnt(bytes, 0b1, 1);
+    appendTipClass(bytes, opcode::tip, 0x400300, last_ip);
+    return bytes;
+}
+
+TEST(FastDecoder, ExtractsFlowStepsInOrder)
+{
+    auto result = decodePacketLayer(sampleStream());
+    EXPECT_FALSE(result.malformed);
+    EXPECT_EQ(result.psbCount, 1u);
+    ASSERT_EQ(result.steps.size(), 6u);
+    EXPECT_EQ(result.steps[0].kind, StepKind::Tip);
+    EXPECT_EQ(result.steps[0].ip, 0x400100u);
+    EXPECT_TRUE(result.steps[0].tntBefore.empty());
+    EXPECT_EQ(result.steps[1].kind, StepKind::Tip);
+    EXPECT_EQ(result.steps[1].ip, 0x400200u);
+    ASSERT_EQ(result.steps[1].tntBefore.size(), 2u);
+    EXPECT_EQ(result.steps[1].tntBefore[0], 1);   // oldest first
+    EXPECT_EQ(result.steps[1].tntBefore[1], 0);
+    EXPECT_EQ(result.steps[2].kind, StepKind::Fup);
+    EXPECT_EQ(result.steps[3].kind, StepKind::Pgd);
+    EXPECT_TRUE(result.steps[3].ipSuppressed);
+    EXPECT_EQ(result.steps[4].kind, StepKind::Pge);
+    EXPECT_EQ(result.steps[5].kind, StepKind::Tip);
+    ASSERT_EQ(result.steps[5].tntBefore.size(), 1u);
+}
+
+TEST(FastDecoder, ChargesDecodeCycles)
+{
+    cpu::CycleAccount account;
+    auto bytes = sampleStream();
+    decodePacketLayer(bytes, &account);
+    EXPECT_DOUBLE_EQ(account.decode,
+                     static_cast<double>(bytes.size()) *
+                         cpu::cost::sw_packet_decode_per_byte);
+}
+
+TEST(FastDecoder, TrailingTntSurvives)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400000, last_ip);
+    appendTnt(bytes, 0b11, 2);
+    auto result = decodePacketLayer(bytes);
+    ASSERT_EQ(result.trailingTnt.size(), 2u);
+}
+
+TEST(FastDecoder, TransitionsSkipContextMarkers)
+{
+    auto transitions =
+        extractTipTransitions(decodePacketLayer(sampleStream()));
+    // TIPs: 0x400100, 0x400200, 0x400300; PGE/PGD/FUP transparent.
+    ASSERT_EQ(transitions.size(), 3u);
+    EXPECT_EQ(transitions[0].from, 0u);
+    EXPECT_EQ(transitions[0].to, 0x400100u);
+    EXPECT_EQ(transitions[1].from, 0x400100u);
+    EXPECT_EQ(transitions[1].to, 0x400200u);
+    EXPECT_EQ(transitions[2].from, 0x400200u);
+    EXPECT_EQ(transitions[2].to, 0x400300u);
+    // TNT accumulates across the FUP/PGD/PGE block.
+    ASSERT_EQ(transitions[2].tnt.size(), 1u);
+    EXPECT_EQ(transitions[2].tnt[0], 1);
+}
+
+TEST(FastDecoder, RecentTipsPicksLatestSufficientSync)
+{
+    // Three PSB segments with 2 TIPs each.
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    std::vector<uint64_t> psb_offsets;
+    uint64_t ip = 0x400000;
+    for (int seg = 0; seg < 3; ++seg) {
+        psb_offsets.push_back(bytes.size());
+        appendPsb(bytes);
+        last_ip = 0;
+        for (int t = 0; t < 2; ++t) {
+            appendTipClass(bytes, opcode::tip, ip, last_ip);
+            ip += 0x10;
+        }
+    }
+
+    // Two TIPs wanted: the last segment suffices.
+    auto last = decodeRecentTips(bytes.data(), bytes.size(), 2);
+    EXPECT_EQ(last.startOffset, psb_offsets[2]);
+    EXPECT_EQ(last.steps.size(), 2u);
+
+    // Four TIPs wanted: must reach back one more segment.
+    auto more = decodeRecentTips(bytes.data(), bytes.size(), 4);
+    EXPECT_EQ(more.startOffset, psb_offsets[1]);
+    EXPECT_EQ(more.steps.size(), 4u);
+
+    // More than available: everything from the first PSB.
+    auto all = decodeRecentTips(bytes.data(), bytes.size(), 100);
+    EXPECT_EQ(all.startOffset, psb_offsets[0]);
+    EXPECT_EQ(all.steps.size(), 6u);
+}
+
+TEST(FastDecoder, RecentTipsWithoutPsbDecodesWholeBuffer)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400000, last_ip);
+    auto result = decodeRecentTips(bytes.data(), bytes.size(), 5);
+    EXPECT_EQ(result.steps.size(), 1u);
+}
+
+TEST(FastDecoder, MalformedStreamFlagged)
+{
+    std::vector<uint8_t> bytes{0x02, 0x99};
+    auto result = decodePacketLayer(bytes);
+    EXPECT_TRUE(result.malformed);
+}
+
+TEST(FastDecoder, SuppressedTipsAreNotTransitions)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    appendTipClass(bytes, opcode::tip, 0, last_ip, /*suppress=*/true);
+    appendTipClass(bytes, opcode::tip, 0x400200, last_ip);
+    auto transitions =
+        extractTipTransitions(decodePacketLayer(bytes));
+    ASSERT_EQ(transitions.size(), 2u);
+    EXPECT_EQ(transitions[1].from, 0x400100u);
+    EXPECT_EQ(transitions[1].to, 0x400200u);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the instruction-flow (full) decoder, including the key
+ * property: over random programs and inputs, the reconstructed branch
+ * sequence equals what the CPU actually retired (from the first sync
+ * point on) — the decoder works from packet bytes alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/basic_kernel.hh"
+#include "cpu/cpu.hh"
+#include "decode/full_decoder.hh"
+#include "isa/builder.hh"
+#include "isa/loader.hh"
+#include "support/random.hh"
+#include "trace/ipt.hh"
+#include "workloads/apps.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::isa;
+
+struct Recorder : cpu::TraceSink
+{
+    std::vector<cpu::BranchEvent> events;
+    void
+    onBranch(const cpu::BranchEvent &event) override
+    {
+        events.push_back(event);
+    }
+};
+
+TEST(FullDecoder, ReconstructsExactBranchSequence)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.movImm(1, 0);
+    mod.label("loop");
+    mod.movImmFunc(2, "callee");
+    mod.callInd(2);
+    mod.aluImm(AluOp::Add, 1, 1);
+    mod.cmpImm(1, 3);
+    mod.jcc(Cond::Lt, "loop");
+    mod.halt();
+    mod.function("callee");
+    mod.cmpImm(1, 1);
+    mod.jcc(Cond::Eq, "skip");
+    mod.aluImm(AluOp::Add, 3, 1);
+    mod.label("skip");
+    mod.ret();
+    Program prog = Loader().addExecutable(mod.build()).link();
+
+    Recorder recorder;
+    trace::Topa topa({1 << 16});
+    trace::IptEncoder encoder(trace::IptConfig{}, topa);
+    cpu::Cpu cpu(prog);
+    cpu.addTraceSink(&recorder);
+    cpu.addTraceSink(&encoder);
+    ASSERT_EQ(cpu.run(10'000), cpu::Cpu::Stop::Halted);
+    encoder.flushTnt();
+
+    auto result =
+        decode::decodeInstructionFlow(prog, topa.snapshot());
+    ASSERT_TRUE(result.ok()) << result.error;
+
+    // The first event is subsumed by the PGE; everything after must
+    // match exactly.
+    ASSERT_EQ(result.branches.size() + 1, recorder.events.size());
+    for (size_t i = 0; i < result.branches.size(); ++i) {
+        const auto &decoded = result.branches[i];
+        const auto &actual = recorder.events[i + 1];
+        EXPECT_EQ(decoded.kind, actual.kind) << "branch " << i;
+        EXPECT_EQ(decoded.source, actual.source) << "branch " << i;
+        if (actual.kind != cpu::BranchKind::SyscallEntry) {
+            EXPECT_EQ(decoded.target, actual.target)
+                << "branch " << i;
+        }
+    }
+}
+
+TEST(FullDecoder, NoSyncOnEmptyBuffer)
+{
+    Program prog = [] {
+        ModuleBuilder mod("m", ModuleKind::Executable);
+        mod.function("main");
+        mod.halt();
+        return Loader().addExecutable(mod.build()).link();
+    }();
+    std::vector<uint8_t> empty;
+    auto result = decode::decodeInstructionFlow(prog, empty);
+    EXPECT_EQ(result.status,
+              decode::FullDecodeResult::Status::NoSync);
+}
+
+TEST(FullDecoder, DesyncOnCorruptedTipTarget)
+{
+    // A TIP arriving where the walk expects a TNT outcome.
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.movImmFunc(1, "f");
+    mod.jmpInd(1);
+    mod.function("f");
+    mod.cmpImm(1, 0);
+    mod.jcc(Cond::Eq, "out");
+    mod.label("out");
+    mod.halt();
+    Program prog = Loader().addExecutable(mod.build()).link();
+
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    trace::appendPsb(bytes);
+    // Land in f (valid start)...
+    trace::appendTipClass(bytes, trace::opcode::tip_pge,
+                          prog.funcAddr("m", "f"), last_ip);
+    // ...then a TIP where f's conditional requires a TNT bit.
+    trace::appendTipClass(bytes, trace::opcode::tip,
+                          prog.funcAddr("m", "f"), last_ip);
+    auto result = decode::decodeInstructionFlow(prog, bytes);
+    EXPECT_EQ(result.status,
+              decode::FullDecodeResult::Status::Desync);
+}
+
+TEST(FullDecoder, ChargesPerInstructionAndBranch)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.movImmFunc(1, "f");
+    mod.callInd(1);
+    mod.halt();
+    mod.function("f");
+    mod.ret();
+    Program prog = Loader().addExecutable(mod.build()).link();
+
+    trace::Topa topa({4096});
+    trace::IptEncoder encoder(trace::IptConfig{}, topa);
+    cpu::Cpu cpu(prog);
+    cpu.addTraceSink(&encoder);
+    ASSERT_EQ(cpu.run(100), cpu::Cpu::Stop::Halted);
+    encoder.flushTnt();
+
+    cpu::CycleAccount account;
+    auto result = decode::decodeInstructionFlow(prog, topa.snapshot(),
+                                                &account);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(account.decode,
+              static_cast<double>(result.instructionsWalked) *
+                  cpu::cost::sw_full_decode_per_inst);
+}
+
+/** Property over random server programs and inputs. */
+class FullDecodeProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(FullDecodeProperty, DecodedFlowMatchesRetiredFlow)
+{
+    workloads::ServerSpec spec;
+    spec.name = "prop";
+    spec.seed = GetParam();
+    spec.numHandlers = 4;
+    spec.numParserStates = 3;
+    spec.numFillerFuncs = 20;
+    spec.fillerTableSlots = 6;
+    spec.workPerRequest = 40;
+    auto app = workloads::buildServerApp(spec);
+
+    Recorder recorder;
+    trace::Topa topa({1 << 22});
+    trace::IptEncoder encoder(trace::IptConfig{}, topa);
+    cpu::Cpu cpu(app.program);
+    cpu::BasicKernel kernel;
+    kernel.setInput(workloads::makeBenignStream(
+        6, GetParam() + 100, spec.numHandlers, spec.numParserStates));
+    cpu.setSyscallHandler(&kernel);
+    cpu.addTraceSink(&recorder);
+    cpu.addTraceSink(&encoder);
+    ASSERT_EQ(cpu.run(5'000'000), cpu::Cpu::Stop::Halted);
+    encoder.flushTnt();
+
+    auto result =
+        decode::decodeInstructionFlow(app.program, topa.snapshot());
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.branches.size() + 1, recorder.events.size());
+    for (size_t i = 0; i < result.branches.size(); ++i) {
+        ASSERT_EQ(result.branches[i].source,
+                  recorder.events[i + 1].source)
+            << "diverged at branch " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullDecodeProperty,
+                         ::testing::Values(3, 17, 23, 51, 77));
+
+} // namespace

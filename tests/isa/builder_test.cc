@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for ModuleBuilder: label resolution, fixup generation,
+ * data layout, and error conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::isa;
+
+TEST(Builder, ResolvesBackwardAndForwardLabels)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.label("top");
+    mod.nop();
+    mod.jcc(Cond::Eq, "bottom");    // forward
+    mod.jmp("top");                  // backward
+    mod.label("bottom");
+    mod.ret();
+    Module built = mod.build();
+
+    // jcc at index 1 targets the offset of ret; jmp targets offset 0.
+    EXPECT_EQ(built.code[1].target, built.instOffsets[3]);
+    EXPECT_EQ(built.code[2].target, 0u);
+}
+
+TEST(Builder, LabelsAreFunctionScoped)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.label("x");
+    mod.jmp("x");
+    mod.function("g");
+    mod.label("x");    // same name, different function: fine
+    mod.jmp("x");
+    Module built = mod.build();
+    EXPECT_EQ(built.code[0].target, built.instOffsets[0]);
+    EXPECT_EQ(built.code[1].target, built.instOffsets[1]);
+}
+
+TEST(Builder, DuplicateLabelIsFatal)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.label("dup");
+    EXPECT_THROW(mod.label("dup"), SimError);
+}
+
+TEST(Builder, UnresolvedLabelIsFatal)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.jcc(Cond::Eq, "nowhere");
+    EXPECT_THROW(mod.build(), SimError);
+}
+
+TEST(Builder, UnresolvedCallTargetIsFatal)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.call("ghost");
+    EXPECT_THROW(mod.build(), SimError);
+}
+
+TEST(Builder, JmpMayTargetSameModuleFunction)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.jmp("g");           // tail call, forward reference
+    mod.function("g");
+    mod.ret();
+    Module built = mod.build();
+    EXPECT_EQ(built.code[0].target, built.functions[1].offset);
+}
+
+TEST(Builder, InstructionOutsideFunctionIsFatal)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    EXPECT_THROW(mod.nop(), SimError);
+}
+
+TEST(Builder, OffsetsFollowInstructionSizes)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.nop();          // 1 byte
+    mod.movImm(0, 5);   // 6 bytes
+    mod.ret();          // 1 byte
+    Module built = mod.build();
+    EXPECT_EQ(built.instOffsets[0], 0u);
+    EXPECT_EQ(built.instOffsets[1], 1u);
+    EXPECT_EQ(built.instOffsets[2], 7u);
+    EXPECT_EQ(built.codeSize, 8u);
+}
+
+TEST(Builder, FunctionsRecordInstructionRanges)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("a");
+    mod.nop();
+    mod.nop();
+    mod.function("b");
+    mod.ret();
+    Module built = mod.build();
+    EXPECT_EQ(built.functions[0].firstInst, 0u);
+    EXPECT_EQ(built.functions[0].numInsts, 2u);
+    EXPECT_EQ(built.functions[1].firstInst, 2u);
+    EXPECT_EQ(built.functions[1].numInsts, 1u);
+}
+
+TEST(Builder, DataObjectsAlignedToEightBytes)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.dataObject("a", {1, 2, 3});             // 3 bytes -> 8
+    mod.dataObject("b", {4});
+    Module built = mod.build();
+    EXPECT_EQ(built.data[0].offset, 0u);
+    EXPECT_EQ(built.data[1].offset, 8u);
+    EXPECT_EQ(built.dataSize, 16u);
+}
+
+TEST(Builder, FuncPtrTableEmitsOneRelocPerSlot)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.funcPtrTable("tbl", {"x", "y", "z"});
+    Module built = mod.build();
+    const DataObject *table = built.findData("tbl");
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(table->bytes.size(), 24u);
+    ASSERT_EQ(table->relocs.size(), 3u);
+    EXPECT_EQ(table->relocs[1].offset, 8u);
+    EXPECT_EQ(table->relocs[1].symbol, "y");
+}
+
+TEST(Builder, MovImmFuncLocalResolvesAtBuild)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.movImmFunc(0, "g");
+    mod.ret();
+    mod.function("g");
+    mod.ret();
+    Module built = mod.build();
+    EXPECT_EQ(static_cast<uint64_t>(built.code[0].imm),
+              built.functions[1].offset);
+    // And an AddCodeBase fixup exists for it.
+    bool found = false;
+    for (const auto &fx : built.fixups)
+        found |= fx.instIndex == 0 &&
+                 fx.kind == FixupKind::AddCodeBase &&
+                 fx.field == FixupField::Imm;
+    EXPECT_TRUE(found);
+}
+
+TEST(Builder, MovImmFuncExternalBecomesExtFixup)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.movImmFunc(0, "imported_fn");
+    mod.ret();
+    Module built = mod.build();
+    bool found = false;
+    for (const auto &fx : built.fixups)
+        found |= fx.kind == FixupKind::ExtFuncAddr &&
+                 fx.symbol == "imported_fn";
+    EXPECT_TRUE(found);
+}
+
+TEST(Builder, CallExtBecomesPltFixup)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.callExt("memcpy");
+    mod.ret();
+    Module built = mod.build();
+    bool found = false;
+    for (const auto &fx : built.fixups)
+        found |= fx.kind == FixupKind::PltCall && fx.symbol == "memcpy";
+    EXPECT_TRUE(found);
+}
+
+TEST(Builder, JumpTableHintRequiresPrecedingJmpInd)
+{
+    ModuleBuilder good("m", ModuleKind::Executable);
+    good.funcPtrTable("tbl", {});
+    good.function("f");
+    good.jmpInd(3);
+    EXPECT_NO_THROW(good.jumpTableHint("tbl", 0));
+
+    ModuleBuilder bad("m2", ModuleKind::Executable);
+    bad.function("f");
+    bad.nop();
+    EXPECT_THROW(bad.jumpTableHint("tbl", 0), SimError);
+}
+
+TEST(Builder, BuildTwiceIsFatal)
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("f");
+    mod.ret();
+    mod.build();
+    EXPECT_THROW(mod.build(), SimError);
+}
+
+} // namespace

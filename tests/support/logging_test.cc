@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the logging/error-termination helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace {
+
+using namespace flowguard;
+
+TEST(Logging, PanicThrowsSimErrorWithPanicKind)
+{
+    try {
+        fg_panic("broken invariant ", 42);
+        FAIL() << "panic returned";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), SimError::Kind::Panic);
+        EXPECT_NE(std::string(error.what()).find("broken invariant 42"),
+                  std::string::npos);
+        EXPECT_NE(std::string(error.what()).find("logging_test.cc"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, FatalThrowsSimErrorWithFatalKind)
+{
+    try {
+        fg_fatal("user error: ", "bad config");
+        FAIL() << "fatal returned";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.kind(), SimError::Kind::Fatal);
+        EXPECT_NE(std::string(error.what()).find("bad config"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(fg_assert(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Logging, AssertPanicsOnFalseCondition)
+{
+    EXPECT_THROW(fg_assert(false, "must fire"), SimError);
+}
+
+TEST(Logging, AssertMessageNamesTheCondition)
+{
+    try {
+        int value = 3;
+        fg_assert(value == 4, "value query");
+        FAIL();
+    } catch (const SimError &error) {
+        EXPECT_NE(std::string(error.what()).find("value == 4"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, ErrorsThrowToggleIsQueryable)
+{
+    EXPECT_TRUE(errorsThrow());    // the test default
+    setErrorsThrow(true);
+    EXPECT_TRUE(errorsThrow());
+}
+
+TEST(Logging, VerbosityToggle)
+{
+    const bool before = logVerbose();
+    setLogVerbose(true);
+    EXPECT_TRUE(logVerbose());
+    setLogVerbose(false);
+    EXPECT_FALSE(logVerbose());
+    setLogVerbose(before);
+}
+
+} // namespace

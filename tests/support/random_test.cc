@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "support/random.hh"
+
+namespace {
+
+using namespace flowguard;
+
+TEST(Random, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 28);
+}
+
+TEST(Random, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Random, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        uint64_t value = rng.range(5, 8);
+        EXPECT_GE(value, 5u);
+        EXPECT_LE(value, 8u);
+        seen.insert(value);
+    }
+    EXPECT_EQ(seen.size(), 4u);    // all four values hit
+}
+
+TEST(Random, UnitInHalfOpenInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double value = rng.unit();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+    }
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceRoughlyCalibrated)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int trials = 10'000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+TEST(Random, ShuffleIsPermutation)
+{
+    Rng rng(23);
+    std::vector<int> values(50);
+    std::iota(values.begin(), values.end(), 0);
+    auto shuffled = values;
+    rng.shuffle(shuffled);
+    EXPECT_TRUE(std::is_permutation(values.begin(), values.end(),
+                                    shuffled.begin()));
+    EXPECT_NE(values, shuffled);    // astronomically unlikely to match
+}
+
+TEST(Random, PickReturnsContainedElement)
+{
+    Rng rng(29);
+    std::vector<int> values{10, 20, 30};
+    for (int i = 0; i < 100; ++i) {
+        int picked = rng.pick(values);
+        EXPECT_TRUE(picked == 10 || picked == 20 || picked == 30);
+    }
+}
+
+TEST(Random, SplitMix64KnownBehaviour)
+{
+    uint64_t s1 = 0, s2 = 0;
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+    EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);  // states advanced
+}
+
+/** Distribution sanity across many seeds. */
+class RandomSeedSweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RandomSeedSweep, MeanOfUnitIsCentered)
+{
+    Rng rng(GetParam());
+    double sum = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.unit();
+    EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+TEST_P(RandomSeedSweep, BelowIsRoughlyUniform)
+{
+    Rng rng(GetParam());
+    std::array<int, 8> buckets{};
+    const int n = 8000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.below(8)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, n / 8, n / 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeedSweep,
+                         ::testing::Values(1, 2, 42, 0xdeadbeef,
+                                           0xffffffffffffffffULL));
+
+} // namespace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for statistics helpers and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace {
+
+using namespace flowguard;
+
+TEST(Accumulator, TracksCountSumMeanMinMax)
+{
+    Accumulator acc;
+    acc.add(2.0);
+    acc.add(8.0);
+    acc.add(5.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 8.0);
+}
+
+TEST(Accumulator, GeomeanOfPowers)
+{
+    Accumulator acc;
+    acc.add(1.0);
+    acc.add(100.0);
+    EXPECT_NEAR(acc.geomean(), 10.0, 1e-9);
+}
+
+TEST(Accumulator, EmptyAccumulatorPanics)
+{
+    Accumulator acc;
+    EXPECT_THROW(acc.mean(), SimError);
+    EXPECT_THROW(acc.geomean(), SimError);
+    EXPECT_THROW(acc.min(), SimError);
+    EXPECT_THROW(acc.max(), SimError);
+}
+
+TEST(Geomean, FreeFunctionMatchesAccumulator)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({3.0, 3.0, 3.0}), 3.0, 1e-9);
+}
+
+TEST(TablePrinter, RendersAlignedColumns)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header and two rows plus the rule line.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, RejectsMismatchedRowWidth)
+{
+    TablePrinter table({"one", "two"});
+    EXPECT_THROW(table.addRow({"only-one"}), SimError);
+}
+
+TEST(TablePrinter, FmtPrecision)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 0), "3");
+    EXPECT_EQ(TablePrinter::fmt(10.0, 1), "10.0");
+}
+
+} // namespace

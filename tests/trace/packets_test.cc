@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit and property tests for the IPT packet wire format: encode /
+ * parse round trips for every packet kind, IP compression modes, PSB
+ * synchronization, and malformed-input handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "trace/ipt_packets.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::trace;
+
+uint64_t
+layout_base()
+{
+    return 0x7f0000000000ULL;
+}
+
+TEST(Packets, PadParses)
+{
+    std::vector<uint8_t> bytes;
+    appendPad(bytes);
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::Pad);
+    EXPECT_EQ(pkt.size, 1u);
+    EXPECT_FALSE(parser.next(pkt));
+}
+
+/** Short TNT round trip over every count and bit pattern. */
+class TntRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TntRoundTrip, AllPatternsForCount)
+{
+    const int count = GetParam();
+    for (uint8_t bits = 0; bits < (1u << count); ++bits) {
+        std::vector<uint8_t> bytes;
+        appendTnt(bytes, bits, count);
+        ASSERT_EQ(bytes.size(), 1u);
+        PacketParser parser(bytes);
+        Packet pkt;
+        ASSERT_TRUE(parser.next(pkt));
+        EXPECT_EQ(pkt.kind, PacketKind::Tnt);
+        EXPECT_EQ(pkt.tntCount, count);
+        EXPECT_EQ(pkt.tntBits, bits);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, TntRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Packets, TntRejectsBadCounts)
+{
+    std::vector<uint8_t> bytes;
+    EXPECT_THROW(appendTnt(bytes, 0, 0), SimError);
+    EXPECT_THROW(appendTnt(bytes, 0, 7), SimError);
+}
+
+TEST(Packets, TipFullIpRoundTrip)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x7f00dead1234ULL, last_ip);
+    EXPECT_EQ(last_ip, 0x7f00dead1234ULL);
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::Tip);
+    EXPECT_EQ(pkt.ip, 0x7f00dead1234ULL);
+    EXPECT_EQ(pkt.size, 9u);    // full 8-byte payload the first time
+}
+
+TEST(Packets, IpCompressionShrinksNearbyTargets)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400000, last_ip);
+    const size_t full = bytes.size();
+    appendTipClass(bytes, opcode::tip, 0x400080, last_ip);
+    const size_t delta16 = bytes.size() - full;
+    EXPECT_EQ(delta16, 3u);     // header + 2 bytes
+    appendTipClass(bytes, opcode::tip, 0x410000, last_ip);
+    EXPECT_EQ(bytes.size() - full - delta16, 5u);  // header + 4 bytes
+
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.ip, 0x400000u);
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.ip, 0x400080u);
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.ip, 0x410000u);
+}
+
+TEST(Packets, SuppressedIp)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0x1234;
+    appendTipClass(bytes, opcode::tip_pgd, 0, last_ip,
+                   /*suppress=*/true);
+    EXPECT_EQ(last_ip, 0x1234u);    // suppression leaves state alone
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::TipPgd);
+    EXPECT_TRUE(pkt.ipSuppressed);
+    EXPECT_EQ(pkt.size, 1u);
+}
+
+TEST(Packets, AllTipClassOpcodesParse)
+{
+    struct Case
+    {
+        uint8_t op;
+        PacketKind kind;
+    };
+    for (const auto &c :
+         {Case{opcode::tip, PacketKind::Tip},
+          Case{opcode::tip_pge, PacketKind::TipPge},
+          Case{opcode::tip_pgd, PacketKind::TipPgd},
+          Case{opcode::fup, PacketKind::Fup}}) {
+        std::vector<uint8_t> bytes;
+        uint64_t last_ip = 0;
+        appendTipClass(bytes, c.op, 0x400123, last_ip);
+        PacketParser parser(bytes);
+        Packet pkt;
+        ASSERT_TRUE(parser.next(pkt));
+        EXPECT_EQ(pkt.kind, c.kind);
+        EXPECT_EQ(pkt.ip, 0x400123u);
+    }
+}
+
+TEST(Packets, PsbResetsCompressionState)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400010, last_ip);
+    appendPsb(bytes);
+    last_ip = 0;            // encoder mirrors the decoder's reset
+    appendTipClass(bytes, opcode::tip, 0x400020, last_ip);
+
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.ip, 0x400010u);
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::Psb);
+    EXPECT_EQ(pkt.size, 16u);
+    ASSERT_TRUE(parser.next(pkt));
+    // Post-PSB the full IP must round-trip even though it is "near"
+    // the previous one.
+    EXPECT_EQ(pkt.ip, 0x400020u);
+}
+
+TEST(Packets, PsbEndParses)
+{
+    std::vector<uint8_t> bytes;
+    appendPsb(bytes);
+    appendPsbEnd(bytes);
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::Psb);
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::PsbEnd);
+}
+
+TEST(Packets, TruncatedTipSetsBad)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x7fff12345678ULL, last_ip);
+    bytes.resize(bytes.size() - 3);     // cut the payload
+    PacketParser parser(bytes);
+    Packet pkt;
+    EXPECT_FALSE(parser.next(pkt));
+    EXPECT_TRUE(parser.bad());
+}
+
+TEST(Packets, GarbageHeaderSetsBad)
+{
+    // 0x02 followed by a byte that is neither PSB nor PSBEND.
+    std::vector<uint8_t> bytes{0x02, 0x55};
+    PacketParser parser(bytes);
+    Packet pkt;
+    EXPECT_FALSE(parser.next(pkt));
+    EXPECT_TRUE(parser.bad());
+}
+
+TEST(Packets, FindPsbOffsets)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400000, last_ip);
+    const size_t first = bytes.size();
+    appendPsb(bytes);
+    appendTnt(bytes, 0b101, 3);
+    const size_t second = bytes.size();
+    appendPsb(bytes);
+    auto offsets = findPsbOffsets(bytes.data(), bytes.size());
+    ASSERT_EQ(offsets.size(), 2u);
+    EXPECT_EQ(offsets[0], first);
+    EXPECT_EQ(offsets[1], second);
+}
+
+/** Property: random packet sequences always round-trip exactly. */
+class PacketStreamProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(PacketStreamProperty, RandomStreamRoundTrips)
+{
+    Rng rng(GetParam());
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+
+    struct Expected
+    {
+        PacketKind kind;
+        uint8_t tntCount = 0;
+        uint8_t tntBits = 0;
+        uint64_t ip = 0;
+    };
+    std::vector<Expected> expected;
+
+    appendPsb(bytes);
+    expected.push_back({PacketKind::Psb, 0, 0, 0});
+    for (int i = 0; i < 500; ++i) {
+        switch (rng.below(4)) {
+          case 0: {
+            const int count = static_cast<int>(rng.range(1, 6));
+            const uint8_t bits = static_cast<uint8_t>(
+                rng.below(1u << count));
+            appendTnt(bytes, bits, count);
+            expected.push_back({PacketKind::Tnt,
+                                static_cast<uint8_t>(count), bits, 0});
+            break;
+          }
+          case 1: {
+            const uint64_t ip = 0x400000 + (rng.below(1 << 20) & ~1ULL);
+            appendTipClass(bytes, opcode::tip, ip, last_ip);
+            expected.push_back({PacketKind::Tip, 0, 0, ip});
+            break;
+          }
+          case 2: {
+            const uint64_t ip =
+                layout_base() + rng.below(1ULL << 32);
+            appendTipClass(bytes, opcode::fup, ip, last_ip);
+            expected.push_back({PacketKind::Fup, 0, 0, ip});
+            break;
+          }
+          default:
+            appendPsb(bytes);
+            last_ip = 0;
+            expected.push_back({PacketKind::Psb, 0, 0, 0});
+            break;
+        }
+    }
+
+    PacketParser parser(bytes);
+    Packet pkt;
+    size_t index = 0;
+    while (parser.next(pkt)) {
+        ASSERT_LT(index, expected.size());
+        const auto &want = expected[index];
+        EXPECT_EQ(pkt.kind, want.kind) << "packet " << index;
+        if (want.kind == PacketKind::Tnt) {
+            EXPECT_EQ(pkt.tntCount, want.tntCount);
+            EXPECT_EQ(pkt.tntBits, want.tntBits);
+        }
+        if (want.kind == PacketKind::Tip ||
+            want.kind == PacketKind::Fup) {
+            EXPECT_EQ(pkt.ip, want.ip) << "packet " << index;
+        }
+        ++index;
+    }
+    EXPECT_FALSE(parser.bad());
+    EXPECT_EQ(index, expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketStreamProperty,
+                         ::testing::Values(1, 7, 99, 12345,
+                                           0xfeedface));
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Behavioral tests of the synthetic libc, invoked through real
+ * programs (PLT and all).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/basic_kernel.hh"
+#include "cpu/cpu.hh"
+#include "isa/builder.hh"
+#include "isa/loader.hh"
+#include "workloads/libc.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::isa;
+
+/** Links a test main against libc (+ optionally the VDSO). */
+Program
+withLibc(ModuleBuilder &&exe, bool vdso = false)
+{
+    Loader loader;
+    loader.addExecutable(std::move(exe).build());
+    loader.addLibrary(workloads::buildLibc());
+    if (vdso)
+        loader.addVdso(workloads::buildVdso());
+    return loader.link();
+}
+
+cpu::Cpu::Stop
+runWith(cpu::Cpu &cpu, cpu::BasicKernel &kernel)
+{
+    cpu.setSyscallHandler(&kernel);
+    return cpu.run(1'000'000);
+}
+
+TEST(Libc, MemcpyCopiesWords)
+{
+    ModuleBuilder exe("t", ModuleKind::Executable);
+    exe.needs("libc");
+    exe.dataObject("src", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                           14, 15, 16});
+    exe.dataBss("dst", 16);
+    exe.function("main");
+    exe.movImmData(0, "dst");
+    exe.movImmData(1, "src");
+    exe.movImm(2, 2);
+    exe.callExt("memcpy");
+    exe.halt();
+    Program prog = withLibc(std::move(exe));
+    cpu::Cpu cpu(prog);
+    cpu::BasicKernel kernel;
+    ASSERT_EQ(runWith(cpu, kernel), cpu::Cpu::Stop::Halted);
+    const uint64_t dst = prog.dataAddr("t", "dst");
+    const uint64_t src = prog.dataAddr("t", "src");
+    EXPECT_EQ(cpu.memory().read64(dst), cpu.memory().read64(src));
+    EXPECT_EQ(cpu.memory().read64(dst + 8),
+              cpu.memory().read64(src + 8));
+}
+
+TEST(Libc, StrcpyStopsAtZeroWord)
+{
+    ModuleBuilder exe("t", ModuleKind::Executable);
+    exe.needs("libc");
+    exe.dataObject("src", [] {
+        std::vector<uint8_t> bytes(24, 0);
+        bytes[0] = 0xAA;
+        bytes[8] = 0xBB;
+        // word 2 is zero: the terminator.
+        return bytes;
+    }());
+    exe.dataBss("dst", 32);
+    exe.function("main");
+    exe.movImmData(0, "dst");
+    exe.movImmData(1, "src");
+    exe.callExt("strcpy_w");
+    exe.halt();
+    Program prog = withLibc(std::move(exe));
+    cpu::Cpu cpu(prog);
+    cpu::BasicKernel kernel;
+    ASSERT_EQ(runWith(cpu, kernel), cpu::Cpu::Stop::Halted);
+    const uint64_t dst = prog.dataAddr("t", "dst");
+    EXPECT_EQ(cpu.memory().read64(dst), 0xAAu);
+    EXPECT_EQ(cpu.memory().read64(dst + 8), 0xBBu);
+    EXPECT_EQ(cpu.memory().read64(dst + 16), 0u);   // terminator
+    EXPECT_EQ(cpu.memory().read64(dst + 24), 0u);   // untouched
+}
+
+TEST(Libc, ChecksumXorsWords)
+{
+    ModuleBuilder exe("t", ModuleKind::Executable);
+    exe.needs("libc");
+    exe.dataBss("arr", 24);
+    exe.function("main");
+    exe.movImmData(6, "arr");
+    exe.movImm(7, 0x0F);
+    exe.store(6, 0, 7);
+    exe.movImm(7, 0xF0);
+    exe.store(6, 8, 7);
+    exe.movImm(7, 0x3C);
+    exe.store(6, 16, 7);
+    exe.movImmData(0, "arr");
+    exe.movImm(1, 3);
+    exe.callExt("checksum");
+    exe.halt();
+    Program prog = withLibc(std::move(exe));
+    cpu::Cpu cpu(prog);
+    cpu::BasicKernel kernel;
+    ASSERT_EQ(runWith(cpu, kernel), cpu::Cpu::Stop::Halted);
+    EXPECT_EQ(cpu.reg(0), 0x0FULL ^ 0xF0ULL ^ 0x3CULL);
+}
+
+TEST(Libc, MallocReturnsDistinctAlignedChunks)
+{
+    ModuleBuilder exe("t", ModuleKind::Executable);
+    exe.needs("libc");
+    exe.function("main");
+    exe.movImm(0, 24);
+    exe.callExt("malloc");
+    exe.movReg(5, 0);
+    exe.movImm(0, 100);
+    exe.callExt("malloc");
+    exe.movReg(6, 0);
+    exe.halt();
+    Program prog = withLibc(std::move(exe));
+    cpu::Cpu cpu(prog);
+    cpu::BasicKernel kernel;
+    ASSERT_EQ(runWith(cpu, kernel), cpu::Cpu::Stop::Halted);
+    EXPECT_NE(cpu.reg(5), 0u);
+    EXPECT_EQ(cpu.reg(6), cpu.reg(5) + 24);
+    EXPECT_EQ(cpu.reg(5) % 8, 0u);
+}
+
+TEST(Libc, VdsoGettimeofdayAvoidsSyscall)
+{
+    ModuleBuilder exe("t", ModuleKind::Executable);
+    exe.needs("libc");
+    exe.function("main");
+    exe.callExt("gettimeofday");
+    exe.movReg(5, 0);
+    exe.callExt("gettimeofday");
+    exe.movReg(6, 0);
+    exe.halt();
+    Program prog = withLibc(std::move(exe), /*vdso=*/true);
+    cpu::Cpu cpu(prog);
+    cpu::BasicKernel kernel;
+    ASSERT_EQ(runWith(cpu, kernel), cpu::Cpu::Stop::Halted);
+    EXPECT_EQ(cpu.reg(6), cpu.reg(5) + 1);      // vvar counter
+    EXPECT_EQ(kernel.syscallCount(Syscall::Gettimeofday), 0u);
+}
+
+TEST(Libc, GettimeofdayFallsBackToSyscallWithoutVdso)
+{
+    ModuleBuilder exe("t", ModuleKind::Executable);
+    exe.needs("libc");
+    exe.function("main");
+    exe.callExt("gettimeofday");
+    exe.halt();
+    Program prog = withLibc(std::move(exe), /*vdso=*/false);
+    cpu::Cpu cpu(prog);
+    cpu::BasicKernel kernel;
+    ASSERT_EQ(runWith(cpu, kernel), cpu::Cpu::Stop::Halted);
+    EXPECT_EQ(kernel.syscallCount(Syscall::Gettimeofday), 1u);
+}
+
+TEST(Libc, WriteBufRoundTrips)
+{
+    ModuleBuilder exe("t", ModuleKind::Executable);
+    exe.needs("libc");
+    exe.dataObject("msg", {'o', 'k'});
+    exe.function("main");
+    exe.movImm(0, 1);
+    exe.movImmData(1, "msg");
+    exe.movImm(2, 2);
+    exe.callExt("write_buf");
+    exe.halt();
+    Program prog = withLibc(std::move(exe));
+    cpu::Cpu cpu(prog);
+    cpu::BasicKernel kernel;
+    ASSERT_EQ(runWith(cpu, kernel), cpu::Cpu::Stop::Halted);
+    EXPECT_EQ(kernel.output(), (std::vector<uint8_t>{'o', 'k'}));
+}
+
+} // namespace
