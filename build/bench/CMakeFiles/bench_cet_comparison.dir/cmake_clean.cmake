@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cet_comparison.dir/bench_cet_comparison.cc.o"
+  "CMakeFiles/bench_cet_comparison.dir/bench_cet_comparison.cc.o.d"
+  "bench_cet_comparison"
+  "bench_cet_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cet_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

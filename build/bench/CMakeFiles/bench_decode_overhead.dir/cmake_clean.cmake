@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decode_overhead.dir/bench_decode_overhead.cc.o"
+  "CMakeFiles/bench_decode_overhead.dir/bench_decode_overhead.cc.o.d"
+  "bench_decode_overhead"
+  "bench_decode_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decode_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

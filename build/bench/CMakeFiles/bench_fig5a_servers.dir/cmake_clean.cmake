@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_servers.dir/bench_fig5a_servers.cc.o"
+  "CMakeFiles/bench_fig5a_servers.dir/bench_fig5a_servers.cc.o.d"
+  "bench_fig5a_servers"
+  "bench_fig5a_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

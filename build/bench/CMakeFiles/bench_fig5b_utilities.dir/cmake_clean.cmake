@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_utilities.dir/bench_fig5b_utilities.cc.o"
+  "CMakeFiles/bench_fig5b_utilities.dir/bench_fig5b_utilities.cc.o.d"
+  "bench_fig5b_utilities"
+  "bench_fig5b_utilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_utilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

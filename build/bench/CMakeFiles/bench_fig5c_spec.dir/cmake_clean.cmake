@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_spec.dir/bench_fig5c_spec.cc.o"
+  "CMakeFiles/bench_fig5c_spec.dir/bench_fig5c_spec.cc.o.d"
+  "bench_fig5c_spec"
+  "bench_fig5c_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5d_training.cc" "bench/CMakeFiles/bench_fig5d_training.dir/bench_fig5d_training.cc.o" "gcc" "bench/CMakeFiles/bench_fig5d_training.dir/bench_fig5d_training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_decode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d_training.dir/bench_fig5d_training.cc.o"
+  "CMakeFiles/bench_fig5d_training.dir/bench_fig5d_training.cc.o.d"
+  "bench_fig5d_training"
+  "bench_fig5d_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_paths.dir/bench_micro_paths.cc.o"
+  "CMakeFiles/bench_micro_paths.dir/bench_micro_paths.cc.o.d"
+  "bench_micro_paths"
+  "bench_micro_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

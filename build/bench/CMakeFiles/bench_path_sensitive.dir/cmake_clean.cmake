@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_sensitive.dir/bench_path_sensitive.cc.o"
+  "CMakeFiles/bench_path_sensitive.dir/bench_path_sensitive.cc.o.d"
+  "bench_path_sensitive"
+  "bench_path_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

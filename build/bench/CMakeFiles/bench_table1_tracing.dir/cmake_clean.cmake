@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tracing.dir/bench_table1_tracing.cc.o"
+  "CMakeFiles/bench_table1_tracing.dir/bench_table1_tracing.cc.o.d"
+  "bench_table1_tracing"
+  "bench_table1_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_packets.dir/bench_table2_packets.cc.o"
+  "CMakeFiles/bench_table2_packets.dir/bench_table2_packets.cc.o.d"
+  "bench_table2_packets"
+  "bench_table2_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_aia.dir/bench_table4_aia.cc.o"
+  "CMakeFiles/bench_table4_aia.dir/bench_table4_aia.cc.o.d"
+  "bench_table4_aia"
+  "bench_table4_aia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_aia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

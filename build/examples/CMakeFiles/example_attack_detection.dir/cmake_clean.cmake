@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attack_detection.dir/attack_detection.cc.o"
+  "CMakeFiles/example_attack_detection.dir/attack_detection.cc.o.d"
+  "example_attack_detection"
+  "example_attack_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attack_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cfg_reconstruction.dir/cfg_reconstruction.cc.o"
+  "CMakeFiles/example_cfg_reconstruction.dir/cfg_reconstruction.cc.o.d"
+  "example_cfg_reconstruction"
+  "example_cfg_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cfg_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

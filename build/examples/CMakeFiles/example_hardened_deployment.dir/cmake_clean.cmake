@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hardened_deployment.dir/hardened_deployment.cc.o"
+  "CMakeFiles/example_hardened_deployment.dir/hardened_deployment.cc.o.d"
+  "example_hardened_deployment"
+  "example_hardened_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hardened_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hardened_deployment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tracing_tour.dir/tracing_tour.cc.o"
+  "CMakeFiles/example_tracing_tour.dir/tracing_tour.cc.o.d"
+  "example_tracing_tour"
+  "example_tracing_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tracing_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

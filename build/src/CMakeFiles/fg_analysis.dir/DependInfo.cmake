@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aia.cc" "src/CMakeFiles/fg_analysis.dir/analysis/aia.cc.o" "gcc" "src/CMakeFiles/fg_analysis.dir/analysis/aia.cc.o.d"
+  "/root/repo/src/analysis/cfg.cc" "src/CMakeFiles/fg_analysis.dir/analysis/cfg.cc.o" "gcc" "src/CMakeFiles/fg_analysis.dir/analysis/cfg.cc.o.d"
+  "/root/repo/src/analysis/cfg_builder.cc" "src/CMakeFiles/fg_analysis.dir/analysis/cfg_builder.cc.o" "gcc" "src/CMakeFiles/fg_analysis.dir/analysis/cfg_builder.cc.o.d"
+  "/root/repo/src/analysis/dump.cc" "src/CMakeFiles/fg_analysis.dir/analysis/dump.cc.o" "gcc" "src/CMakeFiles/fg_analysis.dir/analysis/dump.cc.o.d"
+  "/root/repo/src/analysis/itc_cfg.cc" "src/CMakeFiles/fg_analysis.dir/analysis/itc_cfg.cc.o" "gcc" "src/CMakeFiles/fg_analysis.dir/analysis/itc_cfg.cc.o.d"
+  "/root/repo/src/analysis/path_index.cc" "src/CMakeFiles/fg_analysis.dir/analysis/path_index.cc.o" "gcc" "src/CMakeFiles/fg_analysis.dir/analysis/path_index.cc.o.d"
+  "/root/repo/src/analysis/typearmor.cc" "src/CMakeFiles/fg_analysis.dir/analysis/typearmor.cc.o" "gcc" "src/CMakeFiles/fg_analysis.dir/analysis/typearmor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_analysis.dir/analysis/aia.cc.o"
+  "CMakeFiles/fg_analysis.dir/analysis/aia.cc.o.d"
+  "CMakeFiles/fg_analysis.dir/analysis/cfg.cc.o"
+  "CMakeFiles/fg_analysis.dir/analysis/cfg.cc.o.d"
+  "CMakeFiles/fg_analysis.dir/analysis/cfg_builder.cc.o"
+  "CMakeFiles/fg_analysis.dir/analysis/cfg_builder.cc.o.d"
+  "CMakeFiles/fg_analysis.dir/analysis/dump.cc.o"
+  "CMakeFiles/fg_analysis.dir/analysis/dump.cc.o.d"
+  "CMakeFiles/fg_analysis.dir/analysis/itc_cfg.cc.o"
+  "CMakeFiles/fg_analysis.dir/analysis/itc_cfg.cc.o.d"
+  "CMakeFiles/fg_analysis.dir/analysis/path_index.cc.o"
+  "CMakeFiles/fg_analysis.dir/analysis/path_index.cc.o.d"
+  "CMakeFiles/fg_analysis.dir/analysis/typearmor.cc.o"
+  "CMakeFiles/fg_analysis.dir/analysis/typearmor.cc.o.d"
+  "libfg_analysis.a"
+  "libfg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

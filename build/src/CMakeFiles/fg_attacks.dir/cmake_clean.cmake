@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_attacks.dir/attacks/chains.cc.o"
+  "CMakeFiles/fg_attacks.dir/attacks/chains.cc.o.d"
+  "CMakeFiles/fg_attacks.dir/attacks/gadgets.cc.o"
+  "CMakeFiles/fg_attacks.dir/attacks/gadgets.cc.o.d"
+  "libfg_attacks.a"
+  "libfg_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

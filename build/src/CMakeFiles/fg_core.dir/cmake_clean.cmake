@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_core.dir/core/flowguard.cc.o"
+  "CMakeFiles/fg_core.dir/core/flowguard.cc.o.d"
+  "CMakeFiles/fg_core.dir/core/profile_io.cc.o"
+  "CMakeFiles/fg_core.dir/core/profile_io.cc.o.d"
+  "libfg_core.a"
+  "libfg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_cpu.dir/cpu/basic_kernel.cc.o"
+  "CMakeFiles/fg_cpu.dir/cpu/basic_kernel.cc.o.d"
+  "CMakeFiles/fg_cpu.dir/cpu/cpu.cc.o"
+  "CMakeFiles/fg_cpu.dir/cpu/cpu.cc.o.d"
+  "CMakeFiles/fg_cpu.dir/cpu/machine.cc.o"
+  "CMakeFiles/fg_cpu.dir/cpu/machine.cc.o.d"
+  "CMakeFiles/fg_cpu.dir/cpu/memory.cc.o"
+  "CMakeFiles/fg_cpu.dir/cpu/memory.cc.o.d"
+  "libfg_cpu.a"
+  "libfg_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_decode.dir/decode/fast_decoder.cc.o"
+  "CMakeFiles/fg_decode.dir/decode/fast_decoder.cc.o.d"
+  "CMakeFiles/fg_decode.dir/decode/full_decoder.cc.o"
+  "CMakeFiles/fg_decode.dir/decode/full_decoder.cc.o.d"
+  "libfg_decode.a"
+  "libfg_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_fuzz.dir/fuzz/coverage.cc.o"
+  "CMakeFiles/fg_fuzz.dir/fuzz/coverage.cc.o.d"
+  "CMakeFiles/fg_fuzz.dir/fuzz/fuzzer.cc.o"
+  "CMakeFiles/fg_fuzz.dir/fuzz/fuzzer.cc.o.d"
+  "CMakeFiles/fg_fuzz.dir/fuzz/mutator.cc.o"
+  "CMakeFiles/fg_fuzz.dir/fuzz/mutator.cc.o.d"
+  "CMakeFiles/fg_fuzz.dir/fuzz/trainer.cc.o"
+  "CMakeFiles/fg_fuzz.dir/fuzz/trainer.cc.o.d"
+  "libfg_fuzz.a"
+  "libfg_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/fg_isa.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/fg_isa.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/insts.cc" "src/CMakeFiles/fg_isa.dir/isa/insts.cc.o" "gcc" "src/CMakeFiles/fg_isa.dir/isa/insts.cc.o.d"
+  "/root/repo/src/isa/loader.cc" "src/CMakeFiles/fg_isa.dir/isa/loader.cc.o" "gcc" "src/CMakeFiles/fg_isa.dir/isa/loader.cc.o.d"
+  "/root/repo/src/isa/module.cc" "src/CMakeFiles/fg_isa.dir/isa/module.cc.o" "gcc" "src/CMakeFiles/fg_isa.dir/isa/module.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/fg_isa.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/fg_isa.dir/isa/program.cc.o.d"
+  "/root/repo/src/isa/syscalls.cc" "src/CMakeFiles/fg_isa.dir/isa/syscalls.cc.o" "gcc" "src/CMakeFiles/fg_isa.dir/isa/syscalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

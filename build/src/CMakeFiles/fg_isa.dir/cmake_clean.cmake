@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_isa.dir/isa/builder.cc.o"
+  "CMakeFiles/fg_isa.dir/isa/builder.cc.o.d"
+  "CMakeFiles/fg_isa.dir/isa/insts.cc.o"
+  "CMakeFiles/fg_isa.dir/isa/insts.cc.o.d"
+  "CMakeFiles/fg_isa.dir/isa/loader.cc.o"
+  "CMakeFiles/fg_isa.dir/isa/loader.cc.o.d"
+  "CMakeFiles/fg_isa.dir/isa/module.cc.o"
+  "CMakeFiles/fg_isa.dir/isa/module.cc.o.d"
+  "CMakeFiles/fg_isa.dir/isa/program.cc.o"
+  "CMakeFiles/fg_isa.dir/isa/program.cc.o.d"
+  "CMakeFiles/fg_isa.dir/isa/syscalls.cc.o"
+  "CMakeFiles/fg_isa.dir/isa/syscalls.cc.o.d"
+  "libfg_isa.a"
+  "libfg_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/baselines.cc" "src/CMakeFiles/fg_runtime.dir/runtime/baselines.cc.o" "gcc" "src/CMakeFiles/fg_runtime.dir/runtime/baselines.cc.o.d"
+  "/root/repo/src/runtime/cet.cc" "src/CMakeFiles/fg_runtime.dir/runtime/cet.cc.o" "gcc" "src/CMakeFiles/fg_runtime.dir/runtime/cet.cc.o.d"
+  "/root/repo/src/runtime/fast_path.cc" "src/CMakeFiles/fg_runtime.dir/runtime/fast_path.cc.o" "gcc" "src/CMakeFiles/fg_runtime.dir/runtime/fast_path.cc.o.d"
+  "/root/repo/src/runtime/kernel.cc" "src/CMakeFiles/fg_runtime.dir/runtime/kernel.cc.o" "gcc" "src/CMakeFiles/fg_runtime.dir/runtime/kernel.cc.o.d"
+  "/root/repo/src/runtime/monitor.cc" "src/CMakeFiles/fg_runtime.dir/runtime/monitor.cc.o" "gcc" "src/CMakeFiles/fg_runtime.dir/runtime/monitor.cc.o.d"
+  "/root/repo/src/runtime/pmi.cc" "src/CMakeFiles/fg_runtime.dir/runtime/pmi.cc.o" "gcc" "src/CMakeFiles/fg_runtime.dir/runtime/pmi.cc.o.d"
+  "/root/repo/src/runtime/slow_path.cc" "src/CMakeFiles/fg_runtime.dir/runtime/slow_path.cc.o" "gcc" "src/CMakeFiles/fg_runtime.dir/runtime/slow_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fg_decode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

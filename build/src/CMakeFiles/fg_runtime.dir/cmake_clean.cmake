@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_runtime.dir/runtime/baselines.cc.o"
+  "CMakeFiles/fg_runtime.dir/runtime/baselines.cc.o.d"
+  "CMakeFiles/fg_runtime.dir/runtime/cet.cc.o"
+  "CMakeFiles/fg_runtime.dir/runtime/cet.cc.o.d"
+  "CMakeFiles/fg_runtime.dir/runtime/fast_path.cc.o"
+  "CMakeFiles/fg_runtime.dir/runtime/fast_path.cc.o.d"
+  "CMakeFiles/fg_runtime.dir/runtime/kernel.cc.o"
+  "CMakeFiles/fg_runtime.dir/runtime/kernel.cc.o.d"
+  "CMakeFiles/fg_runtime.dir/runtime/monitor.cc.o"
+  "CMakeFiles/fg_runtime.dir/runtime/monitor.cc.o.d"
+  "CMakeFiles/fg_runtime.dir/runtime/pmi.cc.o"
+  "CMakeFiles/fg_runtime.dir/runtime/pmi.cc.o.d"
+  "CMakeFiles/fg_runtime.dir/runtime/slow_path.cc.o"
+  "CMakeFiles/fg_runtime.dir/runtime/slow_path.cc.o.d"
+  "libfg_runtime.a"
+  "libfg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_support.dir/support/logging.cc.o"
+  "CMakeFiles/fg_support.dir/support/logging.cc.o.d"
+  "CMakeFiles/fg_support.dir/support/random.cc.o"
+  "CMakeFiles/fg_support.dir/support/random.cc.o.d"
+  "CMakeFiles/fg_support.dir/support/stats.cc.o"
+  "CMakeFiles/fg_support.dir/support/stats.cc.o.d"
+  "libfg_support.a"
+  "libfg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/bts.cc" "src/CMakeFiles/fg_trace.dir/trace/bts.cc.o" "gcc" "src/CMakeFiles/fg_trace.dir/trace/bts.cc.o.d"
+  "/root/repo/src/trace/ipt.cc" "src/CMakeFiles/fg_trace.dir/trace/ipt.cc.o" "gcc" "src/CMakeFiles/fg_trace.dir/trace/ipt.cc.o.d"
+  "/root/repo/src/trace/ipt_packets.cc" "src/CMakeFiles/fg_trace.dir/trace/ipt_packets.cc.o" "gcc" "src/CMakeFiles/fg_trace.dir/trace/ipt_packets.cc.o.d"
+  "/root/repo/src/trace/lbr.cc" "src/CMakeFiles/fg_trace.dir/trace/lbr.cc.o" "gcc" "src/CMakeFiles/fg_trace.dir/trace/lbr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

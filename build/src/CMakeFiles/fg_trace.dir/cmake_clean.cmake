@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_trace.dir/trace/bts.cc.o"
+  "CMakeFiles/fg_trace.dir/trace/bts.cc.o.d"
+  "CMakeFiles/fg_trace.dir/trace/ipt.cc.o"
+  "CMakeFiles/fg_trace.dir/trace/ipt.cc.o.d"
+  "CMakeFiles/fg_trace.dir/trace/ipt_packets.cc.o"
+  "CMakeFiles/fg_trace.dir/trace/ipt_packets.cc.o.d"
+  "CMakeFiles/fg_trace.dir/trace/lbr.cc.o"
+  "CMakeFiles/fg_trace.dir/trace/lbr.cc.o.d"
+  "libfg_trace.a"
+  "libfg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_workloads.dir/workloads/apps.cc.o"
+  "CMakeFiles/fg_workloads.dir/workloads/apps.cc.o.d"
+  "CMakeFiles/fg_workloads.dir/workloads/libc.cc.o"
+  "CMakeFiles/fg_workloads.dir/workloads/libc.cc.o.d"
+  "libfg_workloads.a"
+  "libfg_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfg_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_aia_test.dir/analysis/aia_test.cc.o"
+  "CMakeFiles/analysis_aia_test.dir/analysis/aia_test.cc.o.d"
+  "analysis_aia_test"
+  "analysis_aia_test.pdb"
+  "analysis_aia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_aia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_cfg_builder_test.dir/analysis/cfg_builder_test.cc.o"
+  "CMakeFiles/analysis_cfg_builder_test.dir/analysis/cfg_builder_test.cc.o.d"
+  "analysis_cfg_builder_test"
+  "analysis_cfg_builder_test.pdb"
+  "analysis_cfg_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_cfg_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

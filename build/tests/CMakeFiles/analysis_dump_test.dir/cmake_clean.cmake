@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_dump_test.dir/analysis/dump_test.cc.o"
+  "CMakeFiles/analysis_dump_test.dir/analysis/dump_test.cc.o.d"
+  "analysis_dump_test"
+  "analysis_dump_test.pdb"
+  "analysis_dump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

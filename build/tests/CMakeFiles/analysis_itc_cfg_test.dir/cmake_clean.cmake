@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_itc_cfg_test.dir/analysis/itc_cfg_test.cc.o"
+  "CMakeFiles/analysis_itc_cfg_test.dir/analysis/itc_cfg_test.cc.o.d"
+  "analysis_itc_cfg_test"
+  "analysis_itc_cfg_test.pdb"
+  "analysis_itc_cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_itc_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_itc_invariant_test.dir/analysis/itc_invariant_test.cc.o"
+  "CMakeFiles/analysis_itc_invariant_test.dir/analysis/itc_invariant_test.cc.o.d"
+  "analysis_itc_invariant_test"
+  "analysis_itc_invariant_test.pdb"
+  "analysis_itc_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_itc_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_typearmor_test.dir/analysis/typearmor_test.cc.o"
+  "CMakeFiles/analysis_typearmor_test.dir/analysis/typearmor_test.cc.o.d"
+  "analysis_typearmor_test"
+  "analysis_typearmor_test.pdb"
+  "analysis_typearmor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_typearmor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

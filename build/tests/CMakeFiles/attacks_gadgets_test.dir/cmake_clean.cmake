@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacks_gadgets_test.dir/attacks/gadgets_test.cc.o"
+  "CMakeFiles/attacks_gadgets_test.dir/attacks/gadgets_test.cc.o.d"
+  "attacks_gadgets_test"
+  "attacks_gadgets_test.pdb"
+  "attacks_gadgets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacks_gadgets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_attack_detection_test.dir/core/attack_detection_test.cc.o"
+  "CMakeFiles/core_attack_detection_test.dir/core/attack_detection_test.cc.o.d"
+  "core_attack_detection_test"
+  "core_attack_detection_test.pdb"
+  "core_attack_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_attack_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_flowguard_api_test.dir/core/flowguard_api_test.cc.o"
+  "CMakeFiles/core_flowguard_api_test.dir/core/flowguard_api_test.cc.o.d"
+  "core_flowguard_api_test"
+  "core_flowguard_api_test.pdb"
+  "core_flowguard_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_flowguard_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for core_no_false_positive_property_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_basic_kernel_test.dir/cpu/basic_kernel_test.cc.o"
+  "CMakeFiles/cpu_basic_kernel_test.dir/cpu/basic_kernel_test.cc.o.d"
+  "cpu_basic_kernel_test"
+  "cpu_basic_kernel_test.pdb"
+  "cpu_basic_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_basic_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_memory_test.dir/cpu/memory_test.cc.o"
+  "CMakeFiles/cpu_memory_test.dir/cpu/memory_test.cc.o.d"
+  "cpu_memory_test"
+  "cpu_memory_test.pdb"
+  "cpu_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

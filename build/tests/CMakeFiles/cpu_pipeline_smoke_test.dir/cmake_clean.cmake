@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_pipeline_smoke_test.dir/cpu/pipeline_smoke_test.cc.o"
+  "CMakeFiles/cpu_pipeline_smoke_test.dir/cpu/pipeline_smoke_test.cc.o.d"
+  "cpu_pipeline_smoke_test"
+  "cpu_pipeline_smoke_test.pdb"
+  "cpu_pipeline_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_pipeline_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_full_decoder_test.dir/decode/full_decoder_test.cc.o"
+  "CMakeFiles/decode_full_decoder_test.dir/decode/full_decoder_test.cc.o.d"
+  "decode_full_decoder_test"
+  "decode_full_decoder_test.pdb"
+  "decode_full_decoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_full_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

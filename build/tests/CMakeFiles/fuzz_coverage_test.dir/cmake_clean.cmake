@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_coverage_test.dir/fuzz/coverage_test.cc.o"
+  "CMakeFiles/fuzz_coverage_test.dir/fuzz/coverage_test.cc.o.d"
+  "fuzz_coverage_test"
+  "fuzz_coverage_test.pdb"
+  "fuzz_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_fuzzer_test.dir/fuzz/fuzzer_test.cc.o"
+  "CMakeFiles/fuzz_fuzzer_test.dir/fuzz/fuzzer_test.cc.o.d"
+  "fuzz_fuzzer_test"
+  "fuzz_fuzzer_test.pdb"
+  "fuzz_fuzzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_fuzzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

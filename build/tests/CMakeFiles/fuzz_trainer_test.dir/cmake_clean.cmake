@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_trainer_test.dir/fuzz/trainer_test.cc.o"
+  "CMakeFiles/fuzz_trainer_test.dir/fuzz/trainer_test.cc.o.d"
+  "fuzz_trainer_test"
+  "fuzz_trainer_test.pdb"
+  "fuzz_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_builder_test.dir/isa/builder_test.cc.o"
+  "CMakeFiles/isa_builder_test.dir/isa/builder_test.cc.o.d"
+  "isa_builder_test"
+  "isa_builder_test.pdb"
+  "isa_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

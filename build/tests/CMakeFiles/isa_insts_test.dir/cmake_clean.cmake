@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_insts_test.dir/isa/insts_test.cc.o"
+  "CMakeFiles/isa_insts_test.dir/isa/insts_test.cc.o.d"
+  "isa_insts_test"
+  "isa_insts_test.pdb"
+  "isa_insts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_insts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_loader_test.dir/isa/loader_test.cc.o"
+  "CMakeFiles/isa_loader_test.dir/isa/loader_test.cc.o.d"
+  "isa_loader_test"
+  "isa_loader_test.pdb"
+  "isa_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

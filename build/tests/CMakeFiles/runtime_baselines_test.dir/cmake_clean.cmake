@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_baselines_test.dir/runtime/baselines_test.cc.o"
+  "CMakeFiles/runtime_baselines_test.dir/runtime/baselines_test.cc.o.d"
+  "runtime_baselines_test"
+  "runtime_baselines_test.pdb"
+  "runtime_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

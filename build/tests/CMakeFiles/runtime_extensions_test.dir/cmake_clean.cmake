@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_extensions_test.dir/runtime/extensions_test.cc.o"
+  "CMakeFiles/runtime_extensions_test.dir/runtime/extensions_test.cc.o.d"
+  "runtime_extensions_test"
+  "runtime_extensions_test.pdb"
+  "runtime_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_monitor_kernel_test.dir/runtime/monitor_kernel_test.cc.o"
+  "CMakeFiles/runtime_monitor_kernel_test.dir/runtime/monitor_kernel_test.cc.o.d"
+  "runtime_monitor_kernel_test"
+  "runtime_monitor_kernel_test.pdb"
+  "runtime_monitor_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_monitor_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_slow_path_test.dir/runtime/slow_path_test.cc.o"
+  "CMakeFiles/runtime_slow_path_test.dir/runtime/slow_path_test.cc.o.d"
+  "runtime_slow_path_test"
+  "runtime_slow_path_test.pdb"
+  "runtime_slow_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_slow_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_logging_test.dir/support/logging_test.cc.o"
+  "CMakeFiles/support_logging_test.dir/support/logging_test.cc.o.d"
+  "support_logging_test"
+  "support_logging_test.pdb"
+  "support_logging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

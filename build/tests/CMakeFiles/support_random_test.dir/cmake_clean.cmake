@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_random_test.dir/support/random_test.cc.o"
+  "CMakeFiles/support_random_test.dir/support/random_test.cc.o.d"
+  "support_random_test"
+  "support_random_test.pdb"
+  "support_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_bts_lbr_test.dir/trace/bts_lbr_test.cc.o"
+  "CMakeFiles/trace_bts_lbr_test.dir/trace/bts_lbr_test.cc.o.d"
+  "trace_bts_lbr_test"
+  "trace_bts_lbr_test.pdb"
+  "trace_bts_lbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_bts_lbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

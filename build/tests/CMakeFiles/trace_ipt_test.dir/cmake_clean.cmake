@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_ipt_test.dir/trace/ipt_test.cc.o"
+  "CMakeFiles/trace_ipt_test.dir/trace/ipt_test.cc.o.d"
+  "trace_ipt_test"
+  "trace_ipt_test.pdb"
+  "trace_ipt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_ipt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_packets_test.dir/trace/packets_test.cc.o"
+  "CMakeFiles/trace_packets_test.dir/trace/packets_test.cc.o.d"
+  "trace_packets_test"
+  "trace_packets_test.pdb"
+  "trace_packets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_packets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_table3_semantics_test.dir/trace/table3_semantics_test.cc.o"
+  "CMakeFiles/trace_table3_semantics_test.dir/trace/table3_semantics_test.cc.o.d"
+  "trace_table3_semantics_test"
+  "trace_table3_semantics_test.pdb"
+  "trace_table3_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_table3_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_apps_test.dir/workloads/apps_test.cc.o"
+  "CMakeFiles/workloads_apps_test.dir/workloads/apps_test.cc.o.d"
+  "workloads_apps_test"
+  "workloads_apps_test.pdb"
+  "workloads_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_libc_test.dir/workloads/libc_test.cc.o"
+  "CMakeFiles/workloads_libc_test.dir/workloads/libc_test.cc.o.d"
+  "workloads_libc_test"
+  "workloads_libc_test.pdb"
+  "workloads_libc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_libc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
