@@ -121,6 +121,7 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
     cpu::Cpu cpu(_program);
 
     trace::Topa topa(_config.topaRegions);
+    topa.setPmiServiceLatency(_config.pmiServiceLatencyBytes);
     trace::IptConfig ipt_config;
     ipt_config.cr3Filter = true;
     ipt_config.cr3Match = _program.cr3();
@@ -132,6 +133,7 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
     monitor_config.fastPath = _config.fastPath;
     monitor_config.cacheSlowPathVerdicts =
         _config.cacheSlowPathVerdicts;
+    monitor_config.lossPolicy = _config.lossPolicy;
     runtime::Monitor monitor(_program, *_itc, *_ocfg, *_typearmor,
                              monitor_config, &outcome.cycles,
                              _paths.get());
@@ -160,7 +162,14 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
         // PMI-triggered kill; still a positive detection.
         outcome.attackDetected = true;
         runtime::ViolationReport report;
-        report.reason = "PMI window: ITC-CFG violation (post-mortem)";
+        if (pmi->violationWasLoss()) {
+            report.kind = runtime::ViolationReport::Kind::TraceLoss;
+            report.reason =
+                "PMI window: trace loss (fail-closed, post-mortem)";
+        } else {
+            report.reason =
+                "PMI window: ITC-CFG violation (post-mortem)";
+        }
         outcome.violations.push_back(std::move(report));
     }
     outcome.monitor = monitor.stats();
@@ -168,6 +177,8 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
     outcome.syscalls = kernel.totalSyscalls();
     outcome.output = kernel.output();
     outcome.trace = encoder.stats();
+    outcome.overflowEpisodes = topa.overflowEpisodes();
+    outcome.droppedTraceBytes = topa.droppedBytes();
     outcome.cycles.app = static_cast<double>(cpu.instCount()) *
                          cpu::cost::app_cpi;
     return outcome;

@@ -63,6 +63,13 @@ struct FlowGuardConfig
     std::vector<size_t> topaRegions = {8192, 8192};
     /** PSB sync-point period in trace bytes. */
     uint32_t psbPeriodBytes = 1024;
+    /** Degradation policy for windows with trace loss (§7.1.2). */
+    runtime::LossPolicy lossPolicy =
+        runtime::LossPolicy::EscalateSlowPath;
+    /** PMI service latency in trace bytes: 0 = instant service (no
+     *  loss); positive values drop that much trace per buffer-full
+     *  overflow episode, exercising the loss machinery. */
+    size_t pmiServiceLatencyBytes = 0;
     /** Fuzzer seed. */
     uint64_t fuzzSeed = 1;
     /** Instruction budget for each fuzz execution. */
@@ -128,6 +135,9 @@ class FlowGuard
         uint64_t syscalls = 0;
         std::vector<uint8_t> output;
         trace::IptStats trace;
+        /** ToPA loss accounting (nonzero only with PMI latency). */
+        uint64_t overflowEpisodes = 0;
+        uint64_t droppedTraceBytes = 0;
     };
 
     /** Runs the protected process on `input`. Requires analyze(). */

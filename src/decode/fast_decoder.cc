@@ -23,12 +23,36 @@ decodeFrom(const uint8_t *data, size_t size, size_t start,
            size_t end = SIZE_MAX)
 {
     FastDecodeResult result;
-    PacketParser parser(data, std::min(size, end));
+    const size_t limit = std::min(size, end);
+    PacketParser parser(data, limit);
     parser.seek(start);
 
     std::vector<uint8_t> pending_tnt;
+    bool loss_pending = false;
     Packet pkt;
-    while (parser.next(pkt)) {
+    while (true) {
+        if (!parser.next(pkt)) {
+            if (!parser.bad())
+                break;      // clean end of buffer
+            // Malformed bytes: resynchronize at the next validated
+            // PSB. Anything in between is unrecoverable — account it
+            // and break TIP adjacency across the gap.
+            result.malformed = true;
+            const size_t bad_at = static_cast<size_t>(parser.offset());
+            const size_t psb =
+                trace::findNextPsb(data, limit, bad_at + 1);
+            if (psb == SIZE_MAX) {
+                result.bytesSkipped += limit - bad_at;
+                parser.seek(limit);
+                break;
+            }
+            result.bytesSkipped += psb - bad_at;
+            ++result.resyncs;
+            parser.seek(psb);
+            pending_tnt.clear();
+            loss_pending = true;
+            continue;
+        }
         ++result.packetCount;
         switch (pkt.kind) {
           case PacketKind::Pad:
@@ -36,6 +60,13 @@ decodeFrom(const uint8_t *data, size_t size, size_t start,
             break;
           case PacketKind::Psb:
             ++result.psbCount;
+            break;
+          case PacketKind::Ovf:
+            // The hardware dropped packets here; TNT bits buffered
+            // before the gap no longer pair with what follows.
+            ++result.overflows;
+            pending_tnt.clear();
+            loss_pending = true;
             break;
           case PacketKind::Tnt:
             for (int i = 0; i < pkt.tntCount; ++i)
@@ -54,13 +85,14 @@ decodeFrom(const uint8_t *data, size_t size, size_t start,
             step.ip = pkt.ip;
             step.tntBefore = std::move(pending_tnt);
             pending_tnt.clear();
+            step.lossBefore = loss_pending;
+            loss_pending = false;
             result.steps.push_back(std::move(step));
             break;
           }
         }
     }
     result.trailingTnt = std::move(pending_tnt);
-    result.malformed = parser.bad();
     result.bytesScanned = parser.offset() - start;
     result.startOffset = start;
     return result;
@@ -116,6 +148,19 @@ decodeRecentTips(const uint8_t *data, size_t size, size_t min_tips,
         decodeFrom(data, size, static_cast<size_t>(syncs[cutoff]));
     scanned += result.bytesScanned;
     result.bytesScanned = scanned;
+
+    // The encoder's overflow resync emits OVF immediately followed by
+    // the PSB we just anchored at. The gap the OVF marks lies inside
+    // the history this window is supposed to cover ("everything since
+    // the last check"), so it must stay visible to the loss policy
+    // even though decoding starts at the PSB.
+    const size_t anchor = static_cast<size_t>(syncs[cutoff]);
+    if (anchor >= 2 && data[anchor - 2] == 0x02 &&
+        data[anchor - 1] == 0xF3) {
+        ++result.overflows;
+        if (!result.steps.empty())
+            result.steps.front().lossBefore = true;
+    }
     charge(account, scanned);
     return result;
 }
@@ -134,6 +179,12 @@ extractTipTransitions(const FastDecodeResult &flow)
     uint64_t prev = 0;
     std::vector<uint8_t> tnt;
     for (const auto &step : flow.steps) {
+        if (step.lossBefore) {
+            // Trace gap: the previous TIP is not this step's true
+            // predecessor. Restart the window as if at its head.
+            prev = 0;
+            tnt.clear();
+        }
         tnt.insert(tnt.end(), step.tntBefore.begin(),
                    step.tntBefore.end());
         if (step.kind != StepKind::Tip || step.ipSuppressed)

@@ -7,6 +7,12 @@
  * consulting the binaries. PSB packets serve as sync points, so
  * decoding can start at any PSB and independent segments can be
  * processed in parallel.
+ *
+ * The decoder never trusts its input: malformed bytes and hardware
+ * OVF markers both trigger a resynchronization to the next validated
+ * PSB, with the skipped span accounted in the result's loss counters
+ * and the TIP adjacency broken so no edge is fabricated across the
+ * gap. It always terminates, whatever the buffer holds.
  */
 
 #ifndef FLOWGUARD_DECODE_FAST_DECODER_HH
@@ -35,6 +41,9 @@ struct FlowStep
     uint64_t ip = 0;
     /** Conditional outcomes since the previous step, oldest first. */
     std::vector<uint8_t> tntBefore;
+    /** True when trace was lost (OVF or resync) since the previous
+     *  step: this step does not form an edge with its predecessor. */
+    bool lossBefore = false;
 };
 
 /** Result of a packet-layer decode. */
@@ -49,6 +58,21 @@ struct FastDecodeResult
     uint64_t psbCount = 0;
     /** Byte offset of the sync point decoding started from. */
     uint64_t startOffset = 0;
+
+    // Loss accounting (§7.1.2 degraded modes).
+    /** Hardware OVF packets seen (packets dropped at the source). */
+    uint64_t overflows = 0;
+    /** Skip-to-next-PSB recoveries from malformed bytes. */
+    uint64_t resyncs = 0;
+    /** Undecodable bytes skipped during those recoveries. */
+    uint64_t bytesSkipped = 0;
+
+    /** True when any part of the window was lost or undecodable. */
+    bool
+    lossDetected() const
+    {
+        return overflows > 0 || resyncs > 0 || malformed;
+    }
 };
 
 /**

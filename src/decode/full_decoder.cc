@@ -15,10 +15,12 @@ using trace::PacketParser;
 namespace {
 
 /** Flattened packet stream: one entry per TNT *bit* or TIP-class
- *  packet, in emission order. */
+ *  packet, in emission order. A Loss entry marks a trace gap (OVF or
+ *  resync past undecodable bytes): events on its two sides must not
+ *  be paired. */
 struct Event
 {
-    enum class Kind : uint8_t { TntBit, Tip, Pge, Pgd, Fup };
+    enum class Kind : uint8_t { TntBit, Tip, Pge, Pgd, Fup, Loss };
     Kind kind;
     uint8_t bit = 0;
     bool suppressed = false;
@@ -50,13 +52,40 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
     {
         PacketParser parser(data, size);
         Packet pkt;
-        while (parser.next(pkt)) {
+        while (true) {
+            if (!parser.next(pkt)) {
+                if (!parser.bad())
+                    break;      // clean end of buffer
+                // Malformed bytes: skip to the next validated PSB and
+                // record the gap so the walk re-anchors there.
+                const size_t bad_at =
+                    static_cast<size_t>(parser.offset());
+                const size_t psb =
+                    trace::findNextPsb(data, size, bad_at + 1);
+                if (psb == SIZE_MAX) {
+                    result.bytesSkipped += size - bad_at;
+                    break;
+                }
+                result.bytesSkipped += psb - bad_at;
+                ++result.resyncs;
+                parser.seek(psb);
+                if (started)
+                    stream.events.push_back(
+                        {Event::Kind::Loss, 0, false, 0});
+                continue;
+            }
             switch (pkt.kind) {
               case PacketKind::Pad:
               case PacketKind::PsbEnd:
                 break;
               case PacketKind::Psb:
                 synced = true;
+                break;
+              case PacketKind::Ovf:
+                ++result.overflows;
+                if (started)
+                    stream.events.push_back(
+                        {Event::Kind::Loss, 0, false, 0});
                 break;
               case PacketKind::Tnt:
                 if (!started)
@@ -115,7 +144,38 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
     constexpr uint64_t walk_budget = 50'000'000;
     uint64_t ip = result.startIp;
     bool walking = true;
+
+    // Resumes the walk after a trace gap: events up to the next
+    // packet naming an address were orphaned by the loss, and the
+    // anchor itself (like the initial sync) is not replayed. Returns
+    // false when the trace ends inside the gap.
+    auto reanchor = [&]() -> bool {
+        while (!stream.done()) {
+            const Event &ev = stream.peek();
+            if ((ev.kind == Event::Kind::Tip ||
+                 ev.kind == Event::Kind::Pge) &&
+                !ev.suppressed) {
+                result.lossBranchIndices.push_back(
+                    result.branches.size());
+                ip = ev.ip;
+                stream.consume();
+                return true;
+            }
+            stream.consume();
+        }
+        result.lossBranchIndices.push_back(result.branches.size());
+        return false;
+    };
+
     while (walking && !stream.done()) {
+        if (stream.peek().kind == Event::Kind::Loss) {
+            // Nothing between here and the next addressable packet
+            // can be verified; resume the walk on the far side.
+            stream.consume();
+            if (!reanchor())
+                break;
+            continue;
+        }
         if (result.instructionsWalked >= walk_budget) {
             desync("instruction walk budget exceeded");
             break;
@@ -141,6 +201,8 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
                 break;
             }
             const Event &resume = stream.peek();
+            if (resume.kind == Event::Kind::Loss)
+                break;  // gap swallowed the resume; re-anchor above
             if (resume.kind != Event::Kind::Pge || resume.ip != ip) {
                 desync("context resumed at an unexpected address");
                 walking = false;
@@ -150,6 +212,9 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
         }
         if (!walking || result.status != FullDecodeResult::Status::Ok)
             break;
+        if (!stream.done() &&
+            stream.peek().kind == Event::Kind::Loss)
+            continue;   // resolve the gap before consuming anything
 
         switch (inst->op) {
           case Opcode::Jcc: {
@@ -158,6 +223,8 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
                 break;
             }
             const Event &ev = stream.peek();
+            if (ev.kind == Event::Kind::Loss)
+                break;  // re-anchor at the top of the loop
             if (ev.kind != Event::Kind::TntBit) {
                 desync("expected TNT outcome at conditional branch");
                 walking = false;
@@ -193,6 +260,8 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
                 break;
             }
             const Event &ev = stream.peek();
+            if (ev.kind == Event::Kind::Loss)
+                break;  // re-anchor at the top of the loop
             if (ev.kind != Event::Kind::Tip || ev.suppressed) {
                 desync("expected TIP at indirect branch");
                 walking = false;
@@ -215,6 +284,8 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
                 break;
             }
             // FUP at the syscall, PGD entering the kernel.
+            if (stream.peek().kind == Event::Kind::Loss)
+                break;  // re-anchor at the top of the loop
             if (stream.peek().kind != Event::Kind::Fup ||
                 stream.peek().ip != ip) {
                 desync("expected FUP at syscall");
@@ -222,8 +293,14 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
                 break;
             }
             stream.consume();
-            if (stream.done() ||
-                stream.peek().kind != Event::Kind::Pgd) {
+            if (stream.done()) {
+                desync("expected TIP.PGD after syscall FUP");
+                walking = false;
+                break;
+            }
+            if (stream.peek().kind == Event::Kind::Loss)
+                break;  // gap swallowed the PGD; re-anchor above
+            if (stream.peek().kind != Event::Kind::Pgd) {
                 desync("expected TIP.PGD after syscall FUP");
                 walking = false;
                 break;
@@ -236,6 +313,8 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
                 break;
             }
             const Event &resume = stream.peek();
+            if (resume.kind == Event::Kind::Loss)
+                break;  // SyscallExit unobserved; re-anchor above
             if (resume.kind != Event::Kind::Pge) {
                 desync("expected TIP.PGE resuming from syscall");
                 walking = false;

@@ -8,6 +8,12 @@
  * TNT bit at every conditional branch and a TIP payload at every
  * indirect branch, and thereby reconstructs the complete control flow
  * including all the direct transfers IPT never logged.
+ *
+ * Trace loss (OVF packets, undecodable spans) does not fail the
+ * decode: the walk re-anchors at the next packet that names an
+ * address and reconstructs every surviving window, recording where
+ * the gaps fall so checkers can reset cross-gap state (e.g. the
+ * shadow stack) instead of reporting false violations.
  */
 
 #ifndef FLOWGUARD_DECODE_FULL_DECODER_HH
@@ -50,7 +56,27 @@ struct FullDecodeResult
     uint64_t startIp = 0;
     std::string error;
 
+    // Loss accounting (§7.1.2 degraded modes).
+    /** Hardware OVF packets seen in the stream. */
+    uint64_t overflows = 0;
+    /** Skip-to-next-PSB recoveries from malformed bytes. */
+    uint64_t resyncs = 0;
+    /** Undecodable bytes skipped during those recoveries. */
+    uint64_t bytesSkipped = 0;
+    /**
+     * Indices into `branches` where a trace gap immediately precedes
+     * the entry: each such branch opens a fresh window whose link to
+     * everything earlier is unknowable (an index equal to
+     * branches.size() means the trace ended inside a gap). Checkers
+     * must reset cross-branch state — shadow stacks above all — at
+     * these points.
+     */
+    std::vector<uint64_t> lossBranchIndices;
+
     bool ok() const { return status == Status::Ok; }
+
+    /** True when any part of the stream was lost or undecodable. */
+    bool lossDetected() const { return overflows > 0 || resyncs > 0; }
 };
 
 /**

@@ -19,7 +19,12 @@ FastPathChecker::check(const std::vector<uint8_t> &packets) const
     auto flow = decode::decodeRecentTips(packets, _config.pktCount,
                                          _account);
     auto transitions = decode::extractTipTransitions(flow);
-    return checkTransitions(transitions);
+    FastPathResult result = checkTransitions(transitions);
+    result.overflows = flow.overflows;
+    result.resyncs = flow.resyncs;
+    result.bytesSkipped = flow.bytesSkipped;
+    result.malformed = flow.malformed;
+    return result;
 }
 
 FastPathResult

@@ -59,6 +59,22 @@ struct FastPathResult
     uint64_t violatingFrom = 0;
     uint64_t violatingTo = 0;
 
+    // Loss accounting propagated from the packet-layer decode. The
+    // verdict itself stays loss-blind here: degradation policy is the
+    // Monitor's call (LossPolicy), not the fast path's.
+    uint64_t overflows = 0;
+    uint64_t resyncs = 0;
+    uint64_t bytesSkipped = 0;
+    /** Undecodable bytes seen (including an unrecoverable tail). */
+    bool malformed = false;
+
+    /** True when the decoded window lost trace or hit bad bytes. */
+    bool
+    lossDetected() const
+    {
+        return overflows > 0 || resyncs > 0 || malformed;
+    }
+
     double
     observedCredRatio() const
     {

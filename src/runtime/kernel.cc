@@ -40,13 +40,25 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
 {
     if (_config.enabled && _pmi && _pmi->violationPending() &&
         cpu.program().cr3() == _config.protectedCr3) {
-        _pmi->acknowledge();
         ViolationReport report;
         report.syscall = number;
-        report.reason = "PMI window: ITC-CFG violation";
-        const auto &fast = _monitor->lastFast();
-        report.from = fast.violatingFrom;
-        report.to = fast.violatingTo;
+        switch (_pmi->violationSource()) {
+          case Monitor::VerdictSource::LossPolicy:
+            report.kind = ViolationReport::Kind::TraceLoss;
+            report.reason = "PMI window: trace loss (fail-closed)";
+            break;
+          case Monitor::VerdictSource::FastPath:
+            report.reason = "PMI window: ITC-CFG violation";
+            report.from = _pmi->violationFrom();
+            report.to = _pmi->violationTo();
+            break;
+          case Monitor::VerdictSource::SlowPath:
+            report.reason = "PMI window: slow-path violation";
+            report.from = _pmi->violationFrom();
+            report.to = _pmi->violationTo();
+            break;
+        }
+        _pmi->acknowledge();
         _violations.push_back(std::move(report));
         ++_kills;
         warn("FlowGuard: PMI-detected violation — SIGKILL");
@@ -72,14 +84,21 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
             report.syscall = number;
             const auto &fast = _monitor->lastFast();
             const auto &slow = _monitor->lastSlow();
-            if (fast.verdict == CheckVerdict::Violation) {
+            switch (_monitor->lastVerdictSource()) {
+              case Monitor::VerdictSource::LossPolicy:
+                report.kind = ViolationReport::Kind::TraceLoss;
+                report.reason = "trace loss (fail-closed policy)";
+                break;
+              case Monitor::VerdictSource::FastPath:
                 report.from = fast.violatingFrom;
                 report.to = fast.violatingTo;
                 report.reason = "fast path: ITC-CFG edge mismatch";
-            } else {
+                break;
+              case Monitor::VerdictSource::SlowPath:
                 report.from = slow.violatingSource;
                 report.to = slow.violatingTarget;
                 report.reason = "slow path: " + slow.reason;
+                break;
             }
             _violations.push_back(std::move(report));
             ++_kills;

@@ -28,6 +28,15 @@ namespace flowguard::runtime {
 /** One logged detection, the report "to administrators or users". */
 struct ViolationReport
 {
+    /**
+     * What the report actually claims: a CfiViolation is evidence of
+     * a hijacked control flow; a TraceLoss conviction only says the
+     * fail-closed policy refused to pass an unverifiable window. An
+     * administrator triages them very differently.
+     */
+    enum class Kind : uint8_t { CfiViolation, TraceLoss };
+
+    Kind kind = Kind::CfiViolation;
     int64_t syscall = 0;
     uint64_t from = 0;
     uint64_t to = 0;

@@ -4,6 +4,17 @@
 
 namespace flowguard::runtime {
 
+const char *
+lossPolicyName(LossPolicy policy)
+{
+    switch (policy) {
+      case LossPolicy::FailClosed: return "fail-closed";
+      case LossPolicy::EscalateSlowPath: return "escalate-slow-path";
+      case LossPolicy::LogAndPass: return "log-and-pass";
+    }
+    return "?";
+}
+
 Monitor::Monitor(const isa::Program &program, analysis::ItcCfg &itc,
                  const analysis::Cfg &ocfg,
                  const analysis::TypeArmorInfo &typearmor,
@@ -38,29 +49,62 @@ Monitor::finishCheck(FastPathResult fast,
 {
     ++_stats.checks;
     _lastFast = std::move(fast);
+    _lastSource = VerdictSource::FastPath;
     _stats.tipsChecked += _lastFast.tipsChecked;
     _stats.edgesChecked += _lastFast.edgesChecked;
     _stats.highCreditEdges += _lastFast.highCreditEdges;
 
-    if (_lastFast.verdict == CheckVerdict::Pass) {
-        ++_stats.fastPass;
-        return CheckVerdict::Pass;
-    }
-    if (_lastFast.verdict == CheckVerdict::Violation) {
-        ++_stats.violations;
-        return CheckVerdict::Violation;
+    const bool loss = _lastFast.lossDetected();
+    if (loss) {
+        ++_stats.lossWindows;
+        _stats.overflows += _lastFast.overflows;
+        _stats.resyncs += _lastFast.resyncs;
+        _stats.bytesSkipped += _lastFast.bytesSkipped;
     }
 
-    // Suspicious: upcall into the slow-path engine.
+    if (loss && _config.lossPolicy == LossPolicy::FailClosed) {
+        // The gap could hide anything; the policy says nothing passes
+        // unverified. This is a loss conviction, not a flow mismatch.
+        ++_stats.lossViolations;
+        ++_stats.violations;
+        _lastSource = VerdictSource::LossPolicy;
+        return CheckVerdict::Violation;
+    }
+    if (loss && _config.lossPolicy == LossPolicy::LogAndPass)
+        ++_stats.lossAccepted;
+
+    // Under EscalateSlowPath a lossy window always goes to the slow
+    // path: the fast decode of a damaged buffer is trusted neither to
+    // pass nor to convict — the full decode of what survived decides.
+    const bool escalate_loss =
+        loss && _config.lossPolicy == LossPolicy::EscalateSlowPath;
+
+    if (!escalate_loss) {
+        if (_lastFast.verdict == CheckVerdict::Pass) {
+            ++_stats.fastPass;
+            return CheckVerdict::Pass;
+        }
+        if (_lastFast.verdict == CheckVerdict::Violation) {
+            ++_stats.violations;
+            return CheckVerdict::Violation;
+        }
+    }
+
+    // Suspicious (or loss escalation): upcall into the slow-path engine.
     ++_stats.slowChecks;
+    if (escalate_loss)
+        ++_stats.lossEscalations;
     _lastSlow = _slow.check(packets);
+    _lastSource = VerdictSource::SlowPath;
     if (_lastSlow.verdict == CheckVerdict::Violation) {
         ++_stats.violations;
         return CheckVerdict::Violation;
     }
     ++_stats.slowPass;
 
-    if (_config.cacheSlowPathVerdicts) {
+    // Never cache verdicts from a lossy window: edges extracted from
+    // a damaged buffer must not earn durable high credit.
+    if (_config.cacheSlowPathVerdicts && !loss) {
         // The slow path vouched for this window; promote its edges so
         // the fast path handles recurrences alone (§7.1.1). A wrapped
         // ToPA snapshot starts mid-packet, so sync at the first PSB.

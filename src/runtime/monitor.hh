@@ -20,11 +20,36 @@
 
 namespace flowguard::runtime {
 
+/**
+ * What the monitor does when the window under check lost trace
+ * (hardware OVF or undecodable bytes) — §7.1.2 degraded modes. Loss
+ * is not an attack by itself, but an attacker who can provoke it
+ * (e.g. by flooding the trace) could hide a hijack inside the gap,
+ * so the choice is a real security/availability trade-off.
+ */
+enum class LossPolicy : uint8_t {
+    /** Any loss in a checked window is treated as a violation: the
+     *  process dies. No attack hides in a gap, but a noisy trace
+     *  kills benign processes. */
+    FailClosed,
+    /** Loss forces a slow-path check of the surviving windows and its
+     *  verdict is authoritative — the fast decode of a damaged buffer
+     *  is trusted neither to pass nor to convict. The default. */
+    EscalateSlowPath,
+    /** Audit only: loss is counted and the verdict computed from
+     *  whatever survived. For measurement, not protection. */
+    LogAndPass,
+};
+
+const char *lossPolicyName(LossPolicy policy);
+
 struct MonitorConfig
 {
     FastPathConfig fastPath;
     /** Label slow-path-approved transitions as high credit. */
     bool cacheSlowPathVerdicts = true;
+    /** Degradation policy for windows with trace loss. */
+    LossPolicy lossPolicy = LossPolicy::EscalateSlowPath;
 };
 
 struct MonitorStats
@@ -37,6 +62,15 @@ struct MonitorStats
     uint64_t tipsChecked = 0;
     uint64_t edgesChecked = 0;
     uint64_t highCreditEdges = 0;
+
+    // Trace-loss accounting across all checked windows.
+    uint64_t lossWindows = 0;       ///< checks that saw any loss
+    uint64_t overflows = 0;         ///< hardware OVF packets
+    uint64_t resyncs = 0;           ///< skip-to-PSB recoveries
+    uint64_t bytesSkipped = 0;      ///< undecodable bytes dropped
+    uint64_t lossEscalations = 0;   ///< EscalateSlowPath upcalls
+    uint64_t lossViolations = 0;    ///< FailClosed convictions
+    uint64_t lossAccepted = 0;      ///< LogAndPass waves-through
 
     /** Fraction of checks resolved without the slow path. */
     double
@@ -85,6 +119,28 @@ class Monitor
     const FastPathResult &lastFast() const { return _lastFast; }
     const SlowPathResult &lastSlow() const { return _lastSlow; }
 
+    /** Which engine produced the most recent verdict. */
+    enum class VerdictSource : uint8_t {
+        FastPath,
+        SlowPath,
+        LossPolicy,     ///< fail-closed conviction, no flow evidence
+    };
+
+    VerdictSource lastVerdictSource() const { return _lastSource; }
+
+    /**
+     * True when the most recent Violation verdict came from the
+     * fail-closed loss policy rather than a flow mismatch — reports
+     * must not blame the program's control flow for a trace gap.
+     */
+    bool
+    lastViolationWasLoss() const
+    {
+        return _lastSource == VerdictSource::LossPolicy;
+    }
+
+    LossPolicy lossPolicy() const { return _config.lossPolicy; }
+
   private:
     CheckVerdict finishCheck(FastPathResult fast,
                              const std::vector<uint8_t> &packets);
@@ -99,6 +155,7 @@ class Monitor
     MonitorStats _stats;
     FastPathResult _lastFast;
     SlowPathResult _lastSlow;
+    VerdictSource _lastSource = VerdictSource::FastPath;
 };
 
 } // namespace flowguard::runtime

@@ -22,8 +22,23 @@ PmiGuard::onPmi()
     // which the checker's head-truncation handling already tolerates.
     (void)_encoder;
     if (_monitor.checkFull(_topa.snapshot()) ==
-        CheckVerdict::Violation)
+        CheckVerdict::Violation) {
         _violation = true;
+        _violationWasLoss = _monitor.lastViolationWasLoss();
+        _violationSource = _monitor.lastVerdictSource();
+        switch (_violationSource) {
+          case Monitor::VerdictSource::FastPath:
+            _violationFrom = _monitor.lastFast().violatingFrom;
+            _violationTo = _monitor.lastFast().violatingTo;
+            break;
+          case Monitor::VerdictSource::SlowPath:
+            _violationFrom = _monitor.lastSlow().violatingSource;
+            _violationTo = _monitor.lastSlow().violatingTarget;
+            break;
+          case Monitor::VerdictSource::LossPolicy:
+            break;      // no flow evidence to report
+        }
+    }
 }
 
 } // namespace flowguard::runtime

@@ -40,8 +40,31 @@ class PmiGuard
     /** True once any PMI window failed the check. */
     bool violationPending() const { return _violation; }
 
+    /** True when the pending violation was a fail-closed loss
+     *  conviction rather than flow evidence (report triage). */
+    bool violationWasLoss() const { return _violationWasLoss; }
+
+    /** Which engine convicted, captured when the PMI fired — later
+     *  (passing) windows must not repaint the pending report. */
+    Monitor::VerdictSource violationSource() const
+    {
+        return _violationSource;
+    }
+
+    /** Offending transition, when the conviction carries one. */
+    uint64_t violationFrom() const { return _violationFrom; }
+    uint64_t violationTo() const { return _violationTo; }
+
     /** Clears the pending flag (after the kill was delivered). */
-    void acknowledge() { _violation = false; }
+    void
+    acknowledge()
+    {
+        _violation = false;
+        _violationWasLoss = false;
+        _violationSource = Monitor::VerdictSource::FastPath;
+        _violationFrom = 0;
+        _violationTo = 0;
+    }
 
     uint64_t pmiCount() const { return _pmis; }
 
@@ -53,6 +76,11 @@ class PmiGuard
     trace::Topa &_topa;
     cpu::CycleAccount *_account;
     bool _violation = false;
+    bool _violationWasLoss = false;
+    Monitor::VerdictSource _violationSource =
+        Monitor::VerdictSource::FastPath;
+    uint64_t _violationFrom = 0;
+    uint64_t _violationTo = 0;
     uint64_t _pmis = 0;
 };
 

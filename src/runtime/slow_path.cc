@@ -83,6 +83,8 @@ SlowPathChecker::check(const std::vector<uint8_t> &packets) const
         packets.size() - static_cast<size_t>(window.startOffset),
         _account);
     result.instructionsWalked = flow.instructionsWalked;
+    result.traceGaps = flow.overflows + flow.resyncs;
+    result.bytesSkipped = flow.bytesSkipped;
 
     using Status = decode::FullDecodeResult::Status;
     if (flow.status == Status::Desync || flow.status == Status::BadFlow) {
@@ -107,7 +109,16 @@ SlowPathChecker::check(const std::vector<uint8_t> &packets) const
         result.reason = why;
     };
 
-    for (const auto &branch : flow.branches) {
+    size_t next_gap = 0;
+    for (size_t bi = 0; bi < flow.branches.size(); ++bi) {
+        const auto &branch = flow.branches[bi];
+        // A trace gap before this branch severs its window from the
+        // one already checked: call/return pairings do not survive it.
+        while (next_gap < flow.lossBranchIndices.size() &&
+               flow.lossBranchIndices[next_gap] <= bi) {
+            shadow.clear();
+            ++next_gap;
+        }
         ++result.branchesChecked;
         if (_account)
             _account->check += cpu::cost::slow_check_per_branch;

@@ -1,0 +1,121 @@
+#include "trace/faults.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flowguard::trace {
+
+const char *
+faultModeName(FaultMode mode)
+{
+    switch (mode) {
+      case FaultMode::None: return "none";
+      case FaultMode::CorruptBytes: return "corrupt-bytes";
+      case FaultMode::FlipBits: return "flip-bits";
+      case FaultMode::TruncateTail: return "truncate-tail";
+      case FaultMode::DropRegion: return "drop-region";
+      case FaultMode::DelayedPmi: return "delayed-pmi";
+    }
+    return "?";
+}
+
+std::string
+FaultSpec::toString() const
+{
+    std::ostringstream oss;
+    oss << faultModeName(mode);
+    switch (mode) {
+      case FaultMode::CorruptBytes:
+      case FaultMode::FlipBits:
+        oss << "(" << count << ")";
+        break;
+      case FaultMode::DropRegion:
+        oss << "(" << regionBytes << "B)";
+        break;
+      case FaultMode::DelayedPmi:
+        oss << "(" << pmiLatencyBytes << "B)";
+        break;
+      default:
+        break;
+    }
+    return oss.str();
+}
+
+size_t
+FaultInjector::apply(const FaultSpec &spec, std::vector<uint8_t> &buffer)
+{
+    switch (spec.mode) {
+      case FaultMode::CorruptBytes:
+        return corruptBytes(buffer, spec.count);
+      case FaultMode::FlipBits:
+        return flipBits(buffer, spec.count);
+      case FaultMode::TruncateTail:
+        return truncateTail(buffer);
+      case FaultMode::DropRegion:
+        return dropRegion(buffer, spec.regionBytes);
+      case FaultMode::None:
+      case FaultMode::DelayedPmi:
+        return 0;
+    }
+    return 0;
+}
+
+size_t
+FaultInjector::corruptBytes(std::vector<uint8_t> &buffer, uint32_t n)
+{
+    if (buffer.empty())
+        return 0;
+    size_t touched = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        const size_t pos = _rng.below(buffer.size());
+        buffer[pos] = static_cast<uint8_t>(_rng.below(256));
+        ++touched;
+    }
+    return touched;
+}
+
+size_t
+FaultInjector::flipBits(std::vector<uint8_t> &buffer, uint32_t n)
+{
+    if (buffer.empty())
+        return 0;
+    size_t touched = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        const size_t pos = _rng.below(buffer.size());
+        buffer[pos] ^= static_cast<uint8_t>(1u << _rng.below(8));
+        ++touched;
+    }
+    return touched;
+}
+
+size_t
+FaultInjector::truncateTail(std::vector<uint8_t> &buffer)
+{
+    if (buffer.size() < 2)
+        return 0;
+    const size_t keep = 1 + _rng.below(buffer.size() - 1);
+    const size_t removed = buffer.size() - keep;
+    buffer.resize(keep);
+    return removed;
+}
+
+size_t
+FaultInjector::dropRegion(std::vector<uint8_t> &buffer,
+                          size_t region_bytes)
+{
+    if (buffer.empty() || region_bytes == 0)
+        return 0;
+    const size_t len = std::min(region_bytes, buffer.size());
+    const size_t start = _rng.below(buffer.size() - len + 1);
+    buffer.erase(buffer.begin() + static_cast<int64_t>(start),
+                 buffer.begin() + static_cast<int64_t>(start + len));
+    return len;
+}
+
+void
+FaultInjector::delayPmi(Topa &topa, size_t latency_bytes)
+{
+    topa.setPmiServiceLatency(latency_bytes);
+}
+
+} // namespace flowguard::trace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic trace-fault injection.
+ *
+ * Real IPT deployments lose data: DMA glitches corrupt bytes, a
+ * snapshot races the write cursor and truncates mid-packet, a ToPA
+ * region is reclaimed before it is read, and PMI service latency lets
+ * the hardware drop packets wholesale (the OVF episodes modeled by
+ * Topa). FaultInjector reproduces each of those degraded modes on
+ * demand, driven by a seeded Rng so every failure a test or bench
+ * exercises is replayable from its seed.
+ *
+ * Buffer faults mutate a captured snapshot in place; the DelayedPmi
+ * mode instead configures a live Topa's service latency.
+ */
+
+#ifndef FLOWGUARD_TRACE_FAULTS_HH
+#define FLOWGUARD_TRACE_FAULTS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/random.hh"
+#include "trace/ipt.hh"
+
+namespace flowguard::trace {
+
+/** One degraded mode the checker must have defined behavior under. */
+enum class FaultMode : uint8_t {
+    None,
+    CorruptBytes,   ///< overwrite random bytes with random values
+    FlipBits,       ///< flip single bits
+    TruncateTail,   ///< cut the buffer mid-packet
+    DropRegion,     ///< excise a contiguous ToPA-region-sized chunk
+    DelayedPmi,     ///< configure PMI service latency on a live Topa
+};
+
+const char *faultModeName(FaultMode mode);
+
+/** A reproducible fault prescription. */
+struct FaultSpec
+{
+    FaultMode mode = FaultMode::None;
+    /** Bytes/bits touched by CorruptBytes / FlipBits. */
+    uint32_t count = 4;
+    /** Chunk size for DropRegion. */
+    size_t regionBytes = 256;
+    /** Service latency for DelayedPmi. */
+    size_t pmiLatencyBytes = 512;
+
+    std::string toString() const;
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(uint64_t seed)
+        : _rng(seed)
+    {}
+
+    /**
+     * Applies `spec` to `buffer` (DelayedPmi is a no-op here — it
+     * has no buffer form). Returns the number of bytes affected.
+     */
+    size_t apply(const FaultSpec &spec, std::vector<uint8_t> &buffer);
+
+    /** Overwrites `n` random positions with random bytes. */
+    size_t corruptBytes(std::vector<uint8_t> &buffer, uint32_t n);
+
+    /** Flips one random bit at each of `n` random positions. */
+    size_t flipBits(std::vector<uint8_t> &buffer, uint32_t n);
+
+    /**
+     * Truncates at a uniformly random interior offset — with high
+     * probability mid-packet, the shape a snapshot racing the write
+     * cursor produces. Returns bytes removed.
+     */
+    size_t truncateTail(std::vector<uint8_t> &buffer);
+
+    /**
+     * Excises a `region_bytes` chunk at a random offset, splicing the
+     * surviving halves together: a ToPA region lost before it was
+     * read. Returns bytes removed.
+     */
+    size_t dropRegion(std::vector<uint8_t> &buffer, size_t region_bytes);
+
+    /** Configures `topa` to service its buffer-full PMI late. */
+    void delayPmi(Topa &topa, size_t latency_bytes);
+
+    Rng &rng() { return _rng; }
+
+  private:
+    Rng _rng;
+};
+
+} // namespace flowguard::trace
+
+#endif // FLOWGUARD_TRACE_FAULTS_HH

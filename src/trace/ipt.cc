@@ -24,6 +24,12 @@ Topa::Topa(std::vector<size_t> region_sizes)
 void
 Topa::write(const uint8_t *data, size_t len)
 {
+    if (_overflowing) {
+        // The PMI is still pending: output is stalled and the whole
+        // packet is lost.
+        absorbDropped(len);
+        return;
+    }
     for (size_t i = 0; i < len; ++i) {
         _storage[_cursor] = data[i];
         ++_cursor;
@@ -32,10 +38,46 @@ Topa::write(const uint8_t *data, size_t len)
             // Last region filled: wrap to the head and raise the PMI.
             _cursor = 0;
             _wrapped = true;
-            if (_pmi)
-                _pmi();
+            if (_pmiLatencyBytes == 0) {
+                // Instant service: the handler runs inside the wrap.
+                if (_pmi)
+                    _pmi();
+            } else {
+                // Service latency: output stalls until the handler
+                // runs. The packet in flight is dropped whole — the
+                // hardware pads out the region tail rather than
+                // committing a torn packet prefix a decoder could
+                // misparse as a valid packet with garbage payload.
+                _overflowing = true;
+                _latencyRemaining = _pmiLatencyBytes;
+                const size_t torn = i + 1 < len ? i + 1 : 0;
+                for (size_t k = 0; k < torn; ++k)
+                    _storage[_storage.size() - 1 - k] = 0x00;
+                _droppedBytes += torn;
+                absorbDropped(len - i - 1);
+                return;
+            }
         }
     }
+}
+
+void
+Topa::absorbDropped(size_t len)
+{
+    _droppedBytes += len;
+    if (len < _latencyRemaining) {
+        _latencyRemaining -= len;
+        return;
+    }
+    // The handler finally runs: it examines the buffer as captured at
+    // the wrap (the PMI callback), then tracing restarts and the
+    // encoder owes the stream an OVF + PSB resync.
+    _latencyRemaining = 0;
+    _overflowing = false;
+    _ovfResyncPending = true;
+    ++_overflowEpisodes;
+    if (_pmi)
+        _pmi();
 }
 
 std::vector<uint8_t>
@@ -63,6 +105,11 @@ Topa::clear()
     _cursor = 0;
     _wrapped = false;
     _totalWritten = 0;
+    _overflowing = false;
+    _ovfResyncPending = false;
+    _latencyRemaining = 0;
+    _overflowEpisodes = 0;
+    _droppedBytes = 0;
 }
 
 IptEncoder::IptEncoder(IptConfig config, Topa &topa,
@@ -99,8 +146,33 @@ IptEncoder::maybePsb()
 }
 
 void
+IptEncoder::maybeOvfResync()
+{
+    if (!_topa.consumeOvfResyncPending())
+        return;
+    // An overflow episode just ended: packets — including any TNT
+    // outcomes buffered across the gap — were lost. Mark the loss
+    // with OVF and resync the decoder with a fresh PSB; the next
+    // traced branch re-establishes context via TIP.PGE.
+    _tntBits = 0;
+    _tntCount = 0;
+    _scratch.clear();
+    appendOvf(_scratch);
+    appendPsb(_scratch);
+    appendPsbEnd(_scratch);
+    emit(_scratch);
+    ++_stats.ovfPackets;
+    ++_stats.psbPackets;
+    _bytesSincePsb = 0;
+    _lastIp = 0;
+    _contextOn = false;
+    _started = true;
+}
+
+void
 IptEncoder::flushTnt()
 {
+    maybeOvfResync();
     if (_tntCount == 0)
         return;
     _scratch.clear();
@@ -154,6 +226,8 @@ IptEncoder::onBranch(const BranchEvent &event)
 {
     if (!_config.traceEn || !_config.branchEn)
         return;
+
+    maybeOvfResync();
 
     const bool on = passesFilters(event);
     if (!on) {

@@ -52,6 +52,15 @@ struct IptConfig
  * Table of Physical Addresses output: a chain of regions written in
  * order; when the last region fills, output wraps to the first and an
  * optional PMI callback fires (the buffer-full interrupt of §5.2).
+ *
+ * PMI service latency (§7.1.2): on real hardware the interrupt is not
+ * serviced instantly — trace output stalls while the handler is
+ * pending and the packets generated in that window are dropped. With
+ * a non-zero service latency, filling the last region enters an
+ * overflow episode: whole packet writes are discarded until
+ * `latency` bytes worth have been lost, then the PMI callback runs
+ * (the handler finally sees the buffer) and the encoder is told to
+ * emit an OVF + PSB resync before the next packet.
  */
 class Topa
 {
@@ -68,6 +77,16 @@ class Topa
     }
 
     /**
+     * Models PMI service latency in trace bytes: 0 (default) services
+     * the interrupt instantly at the wrap, exactly the old behavior;
+     * a positive value drops that many bytes of trace output first.
+     */
+    void setPmiServiceLatency(size_t latency_bytes)
+    {
+        _pmiLatencyBytes = latency_bytes;
+    }
+
+    /**
      * Contents in age order (oldest byte first). After a wrap the
      * oldest bytes are those just ahead of the write cursor.
      */
@@ -81,15 +100,46 @@ class Topa
 
     bool wrapped() const { return _wrapped; }
 
+    /** True while trace output is stalled awaiting PMI service. */
+    bool inOverflow() const { return _overflowing; }
+
+    /** Completed overflow episodes (each ends in one OVF marker). */
+    uint64_t overflowEpisodes() const { return _overflowEpisodes; }
+
+    /** Trace bytes discarded across all overflow episodes. */
+    uint64_t droppedBytes() const { return _droppedBytes; }
+
+    /**
+     * True exactly once after an overflow episode ends: the encoder
+     * consumes this to emit the OVF + PSB resync sequence.
+     */
+    bool consumeOvfResyncPending()
+    {
+        const bool pending = _ovfResyncPending;
+        _ovfResyncPending = false;
+        return pending;
+    }
+
     void clear();
 
   private:
+    /** Accounts `len` dropped bytes; services the PMI when the
+     *  latency budget is exhausted. */
+    void absorbDropped(size_t len);
+
     std::vector<uint8_t> _storage;    ///< regions are contiguous here
     std::vector<size_t> _regionEnds;  ///< cumulative region boundaries
     size_t _cursor = 0;
     bool _wrapped = false;
     uint64_t _totalWritten = 0;
     std::function<void()> _pmi;
+
+    size_t _pmiLatencyBytes = 0;
+    bool _overflowing = false;
+    bool _ovfResyncPending = false;
+    size_t _latencyRemaining = 0;
+    uint64_t _overflowEpisodes = 0;
+    uint64_t _droppedBytes = 0;
 };
 
 /** Per-packet-kind emission counters. */
@@ -102,6 +152,7 @@ struct IptStats
     uint64_t pgdPackets = 0;
     uint64_t fupPackets = 0;
     uint64_t psbPackets = 0;
+    uint64_t ovfPackets = 0;
     uint64_t bytes = 0;
 };
 
@@ -136,6 +187,7 @@ class IptEncoder : public cpu::TraceSink
   private:
     void emit(const std::vector<uint8_t> &bytes);
     void maybePsb();
+    void maybeOvfResync();
     bool passesFilters(const cpu::BranchEvent &event) const;
 
     IptConfig _config;

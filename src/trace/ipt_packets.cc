@@ -11,7 +11,52 @@ namespace {
 constexpr uint8_t psb_byte0 = 0x02;
 constexpr uint8_t psb_byte1 = 0x82;
 constexpr uint8_t psbend_byte1 = 0x23;
+constexpr uint8_t ovf_byte1 = 0xF3;
 constexpr int psb_repeats = 8;
+constexpr size_t psb_len = 2 * psb_repeats;
+
+bool
+psbPatternAt(const uint8_t *data, size_t size, size_t pos)
+{
+    if (pos + psb_len > size)
+        return false;
+    for (int k = 0; k < psb_repeats; ++k) {
+        if (data[pos + 2 * static_cast<size_t>(k)] != psb_byte0 ||
+            data[pos + 2 * static_cast<size_t>(k) + 1] != psb_byte1)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Accepts a candidate raw match only at the tail of its 0x02 0x82
+ * run: TIP payload bytes in front of a genuine PSB can extend the
+ * repeating pattern backwards, and any earlier start would sit
+ * mid-packet. Returns the validated sync offset.
+ */
+size_t
+psbRunTail(const uint8_t *data, size_t size, size_t match)
+{
+    size_t end = match + psb_len;
+    while (end + 2 <= size && data[end] == psb_byte0 &&
+           data[end + 1] == psb_byte1)
+        end += 2;
+    return end - psb_len;
+}
+
+/** True when the bytes from `pos` to the end of the buffer are a
+ *  proper prefix of the PSB pattern (the run was cut mid-buffer). */
+bool
+psbPrefixAtEnd(const uint8_t *data, size_t size, size_t pos)
+{
+    for (size_t k = pos; k < size; ++k) {
+        const uint8_t expected =
+            ((k - pos) % 2 == 0) ? psb_byte0 : psb_byte1;
+        if (data[k] != expected)
+            return false;
+    }
+    return true;
+}
 
 /** IPBytes mode for compressing `ip` against `last_ip`. */
 int
@@ -74,6 +119,9 @@ Packet::toString() const
       case PacketKind::PsbEnd:
         oss << "PSBEND";
         break;
+      case PacketKind::Ovf:
+        oss << "OVF";
+        break;
     }
     return oss.str();
 }
@@ -117,6 +165,13 @@ appendPsbEnd(std::vector<uint8_t> &out)
 }
 
 void
+appendOvf(std::vector<uint8_t> &out)
+{
+    out.push_back(psb_byte0);
+    out.push_back(ovf_byte1);
+}
+
+void
 appendPad(std::vector<uint8_t> &out)
 {
     out.push_back(0x00);
@@ -136,12 +191,13 @@ PacketParser::seek(uint64_t offset)
     _pos = offset;
     _lastIp = 0;
     _bad = false;
+    _truncated = false;
 }
 
 bool
 PacketParser::next(Packet &out)
 {
-    if (_bad || _pos >= _size)
+    if (_bad || _truncated || _pos >= _size)
         return false;
 
     out = Packet{};
@@ -157,31 +213,36 @@ PacketParser::next(Packet &out)
 
     if (head == psb_byte0) {
         if (_pos + 1 >= _size) {
-            _bad = true;
+            _truncated = true;  // lone 0x02 at the very end
             return false;
         }
         const uint8_t second = _data[_pos + 1];
         if (second == psb_byte1) {
             // Expect the full 16-byte pattern.
-            if (_pos + 2 * psb_repeats > _size) {
-                _bad = true;
+            if (!psbPatternAt(_data, _size, _pos)) {
+                if (_pos + psb_len > _size &&
+                    psbPrefixAtEnd(_data, _size, _pos))
+                    _truncated = true;
+                else
+                    _bad = true;
                 return false;
             }
-            for (int i = 0; i < psb_repeats; ++i) {
-                if (_data[_pos + 2 * i] != psb_byte0 ||
-                    _data[_pos + 2 * i + 1] != psb_byte1) {
-                    _bad = true;
-                    return false;
-                }
-            }
             out.kind = PacketKind::Psb;
-            out.size = 2 * psb_repeats;
+            out.size = psb_len;
             _pos += out.size;
             _lastIp = 0;    // sync point: compression state resets
             return true;
         }
         if (second == psbend_byte1) {
             out.kind = PacketKind::PsbEnd;
+            out.size = 2;
+            _pos += 2;
+            return true;
+        }
+        if (second == ovf_byte1) {
+            // Packets were dropped; the last-IP state on the far side
+            // of the gap is unknowable until the next PSB resets it.
+            out.kind = PacketKind::Ovf;
             out.size = 2;
             _pos += 2;
             return true;
@@ -222,8 +283,12 @@ PacketParser::next(Packet &out)
         return false;
     }
     const int nbytes = ipPayloadBytes(mode);
-    if (nbytes < 0 || _pos + 1 + nbytes > _size) {
+    if (nbytes < 0) {
         _bad = true;
+        return false;
+    }
+    if (_pos + 1 + static_cast<size_t>(nbytes) > _size) {
+        _truncated = true;  // valid header, payload cut off
         return false;
     }
     uint64_t payload = 0;
@@ -252,20 +317,26 @@ std::vector<uint64_t>
 findPsbOffsets(const uint8_t *data, size_t size)
 {
     std::vector<uint64_t> offsets;
-    if (size < 2 * psb_repeats)
+    if (size < psb_len)
         return offsets;
-    for (size_t i = 0; i + 2 * psb_repeats <= size; ++i) {
-        bool match = true;
-        for (int k = 0; k < psb_repeats && match; ++k) {
-            match = data[i + 2 * k] == psb_byte0 &&
-                    data[i + 2 * k + 1] == psb_byte1;
-        }
-        if (match) {
-            offsets.push_back(i);
-            i += 2 * psb_repeats - 1;
-        }
+    for (size_t i = 0; i + psb_len <= size; ++i) {
+        if (!psbPatternAt(data, size, i))
+            continue;
+        const size_t start = psbRunTail(data, size, i);
+        offsets.push_back(start);
+        i = start + psb_len - 1;
     }
     return offsets;
+}
+
+size_t
+findNextPsb(const uint8_t *data, size_t size, size_t from)
+{
+    for (size_t i = from; i + psb_len <= size; ++i) {
+        if (psbPatternAt(data, size, i))
+            return psbRunTail(data, size, i);
+    }
+    return SIZE_MAX;
 }
 
 } // namespace flowguard::trace

@@ -20,6 +20,9 @@
  *   FUP      header low 5 bits 0x1D, same IP payload scheme
  *   PSB      0x02 0x82 repeated 8 times (16 bytes); resets last-IP
  *   PSBEND   0x02 0x23
+ *   OVF      0x02 0xF3: the hardware dropped packets because trace
+ *            output stalled (ToPA full, PMI not yet serviced); the
+ *            encoder follows it with a PSB so decoding can resync
  *
  * IPBytes modes: 0 = IP suppressed, 1 = low 16 bits updated, 2 = low
  * 32 bits updated, 6 = full 64-bit IP.
@@ -44,6 +47,7 @@ enum class PacketKind : uint8_t {
     Fup,
     Psb,
     PsbEnd,
+    Ovf,
 };
 
 /** Header low-5-bit opcodes for the TIP packet family. */
@@ -93,6 +97,9 @@ void appendPsb(std::vector<uint8_t> &out);
 /** Appends PSBEND. */
 void appendPsbEnd(std::vector<uint8_t> &out);
 
+/** Appends OVF (0x02 0xF3), the trace-loss marker. */
+void appendOvf(std::vector<uint8_t> &out);
+
 /** Appends a PAD byte. */
 void appendPad(std::vector<uint8_t> &out);
 
@@ -115,8 +122,16 @@ class PacketParser
      */
     bool next(Packet &out);
 
-    /** True if parsing stopped on malformed bytes. */
+    /** True if parsing stopped on malformed bytes. A valid packet
+     *  header whose payload runs past the end of the buffer is NOT
+     *  bad — it sets truncated() instead: a snapshot racing the
+     *  write cursor naturally tears the final packet, and treating
+     *  that as loss would convict benign processes under fail-closed
+     *  policies. */
     bool bad() const { return _bad; }
+
+    /** True if the buffer ended in the middle of a packet. */
+    bool truncated() const { return _truncated; }
 
     /** Current byte offset. */
     uint64_t offset() const { return _pos; }
@@ -124,7 +139,8 @@ class PacketParser
     /**
      * Repositions to `offset`, which must be a PSB boundary for the
      * last-IP state to be correct (used for parallel decode from sync
-     * points).
+     * points and for resynchronization after malformed bytes). Clears
+     * the bad() flag.
      */
     void seek(uint64_t offset);
 
@@ -134,10 +150,27 @@ class PacketParser
     size_t _pos = 0;
     uint64_t _lastIp = 0;
     bool _bad = false;
+    bool _truncated = false;
 };
 
-/** Scans the buffer for PSB boundaries (for parallel fast decode). */
+/**
+ * Scans the buffer for PSB boundaries (for parallel fast decode and
+ * post-loss resynchronization).
+ *
+ * A raw 16-byte match is not sufficient: a TIP payload whose bytes
+ * happen to contain 0x02 0x82 pairs directly in front of a genuine
+ * PSB extends the repeating pattern backwards, and the shifted match
+ * would start mid-packet. Candidates are therefore extended to the
+ * end of their 0x02 0x82 run and only the final 16 bytes — the
+ * position the encoder actually emitted — are accepted.
+ */
 std::vector<uint64_t> findPsbOffsets(const uint8_t *data, size_t size);
+
+/**
+ * First validated PSB boundary at or after `from` (same acceptance
+ * rule as findPsbOffsets), or SIZE_MAX when the buffer holds none.
+ */
+size_t findNextPsb(const uint8_t *data, size_t size, size_t from);
 
 } // namespace flowguard::trace
 

@@ -144,6 +144,119 @@ TEST(FastDecoder, MalformedStreamFlagged)
     EXPECT_TRUE(result.malformed);
 }
 
+TEST(FastDecoder, OvfBreaksTipAdjacency)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendPsb(bytes);
+    appendPsbEnd(bytes);
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    // The hardware dropped packets here; the encoder resynced.
+    appendOvf(bytes);
+    appendPsb(bytes);
+    appendPsbEnd(bytes);
+    last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400200, last_ip);
+    appendTipClass(bytes, opcode::tip, 0x400300, last_ip);
+
+    auto result = decodePacketLayer(bytes);
+    EXPECT_FALSE(result.malformed);
+    EXPECT_EQ(result.overflows, 1u);
+    EXPECT_EQ(result.resyncs, 0u);
+    EXPECT_TRUE(result.lossDetected());
+    ASSERT_EQ(result.steps.size(), 3u);
+    EXPECT_FALSE(result.steps[0].lossBefore);
+    EXPECT_TRUE(result.steps[1].lossBefore);
+    EXPECT_FALSE(result.steps[2].lossBefore);
+
+    // No edge is fabricated across the gap: the post-loss TIP opens
+    // a fresh window.
+    auto transitions = extractTipTransitions(result);
+    ASSERT_EQ(transitions.size(), 3u);
+    EXPECT_EQ(transitions[1].from, 0u);
+    EXPECT_EQ(transitions[1].to, 0x400200u);
+    EXPECT_EQ(transitions[2].from, 0x400200u);
+}
+
+TEST(FastDecoder, PendingTntDroppedAtLoss)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    appendTnt(bytes, 0b101, 3);
+    appendOvf(bytes);
+    appendPsb(bytes);
+    appendPsbEnd(bytes);
+    last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400200, last_ip);
+    auto result = decodePacketLayer(bytes);
+    ASSERT_EQ(result.steps.size(), 2u);
+    // Outcomes buffered before the gap no longer pair with anything.
+    EXPECT_TRUE(result.steps[1].tntBefore.empty());
+}
+
+TEST(FastDecoder, BadBytesResyncToNextPsb)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    const size_t garbage_at = bytes.size();
+    bytes.push_back(0x02);      // 0x02 + invalid second byte
+    bytes.push_back(0x99);
+    bytes.push_back(0x47);      // undecodable filler
+    const size_t psb_at = bytes.size();
+    appendPsb(bytes);
+    appendPsbEnd(bytes);
+    last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400200, last_ip);
+
+    auto result = decodePacketLayer(bytes);
+    EXPECT_TRUE(result.malformed);
+    EXPECT_EQ(result.resyncs, 1u);
+    EXPECT_EQ(result.bytesSkipped, psb_at - garbage_at);
+    ASSERT_EQ(result.steps.size(), 2u);
+    EXPECT_EQ(result.steps[1].ip, 0x400200u);
+    EXPECT_TRUE(result.steps[1].lossBefore);
+    // The whole buffer was still scanned; decode terminated cleanly.
+    EXPECT_EQ(result.bytesScanned, bytes.size());
+}
+
+TEST(FastDecoder, BadTailWithoutPsbTerminates)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    const size_t garbage_at = bytes.size();
+    bytes.push_back(0x02);
+    bytes.push_back(0x99);
+    bytes.push_back(0x03);
+    auto result = decodePacketLayer(bytes);
+    EXPECT_TRUE(result.malformed);
+    EXPECT_EQ(result.resyncs, 0u);
+    EXPECT_EQ(result.bytesSkipped, bytes.size() - garbage_at);
+    ASSERT_EQ(result.steps.size(), 1u);
+}
+
+TEST(FastDecoder, TruncatedTailIsCleanEofNotLoss)
+{
+    // A snapshot that races the write cursor tears the last packet;
+    // the surviving prefix is fully verified, so this is not loss.
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendPsb(bytes);
+    appendPsbEnd(bytes);
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    appendTipClass(bytes, opcode::tip, 0xAABB0000CCDD1122ULL, last_ip);
+    bytes.resize(bytes.size() - 4);
+
+    auto result = decodePacketLayer(bytes);
+    EXPECT_FALSE(result.malformed);
+    EXPECT_FALSE(result.lossDetected());
+    EXPECT_EQ(result.bytesSkipped, 0u);
+    ASSERT_EQ(result.steps.size(), 1u);
+    EXPECT_EQ(result.steps[0].ip, 0x400100u);
+}
+
 TEST(FastDecoder, SuppressedTipsAreNotTransitions)
 {
     std::vector<uint8_t> bytes;

@@ -149,6 +149,169 @@ TEST(FullDecoder, ChargesPerInstructionAndBranch)
                   cpu::cost::sw_full_decode_per_inst);
 }
 
+/** Program shared by the loss tests: main indirectly calls f (which
+ *  has a conditional), and g is a spare re-anchor target. */
+Program
+lossProgram()
+{
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.movImmFunc(1, "f");
+    mod.callInd(1);
+    mod.halt();
+    mod.function("f");
+    mod.cmpImm(1, 0);
+    mod.jcc(Cond::Eq, "out");
+    mod.label("out");
+    mod.ret();
+    mod.function("g");
+    mod.halt();
+    return Loader().addExecutable(mod.build()).link();
+}
+
+TEST(FullDecoder, ReanchorsAfterOvfGap)
+{
+    Program prog = lossProgram();
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    trace::appendPsb(bytes);
+    trace::appendPsbEnd(bytes);
+    trace::appendTipClass(bytes, trace::opcode::tip_pge,
+                          prog.funcAddr("m", "main"), last_ip);
+    trace::appendTipClass(bytes, trace::opcode::tip,
+                          prog.funcAddr("m", "f"), last_ip);
+    // Overflow: f's TNT bit (and everything else) was dropped; the
+    // encoder resynced and context re-entered at g.
+    trace::appendOvf(bytes);
+    trace::appendPsb(bytes);
+    trace::appendPsbEnd(bytes);
+    last_ip = 0;
+    trace::appendTipClass(bytes, trace::opcode::tip_pge,
+                          prog.funcAddr("m", "g"), last_ip);
+
+    auto result = decode::decodeInstructionFlow(prog, bytes);
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.overflows, 1u);
+    EXPECT_TRUE(result.lossDetected());
+    // The call into f is reconstructed; nothing inside the gap is.
+    ASSERT_EQ(result.branches.size(), 1u);
+    EXPECT_EQ(result.branches[0].kind, cpu::BranchKind::IndirectCall);
+    EXPECT_EQ(result.branches[0].target, prog.funcAddr("m", "f"));
+    ASSERT_EQ(result.lossBranchIndices.size(), 1u);
+    EXPECT_EQ(result.lossBranchIndices[0], 1u);
+}
+
+TEST(FullDecoder, GapAtEndOfTraceStillOk)
+{
+    Program prog = lossProgram();
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    trace::appendPsb(bytes);
+    trace::appendPsbEnd(bytes);
+    trace::appendTipClass(bytes, trace::opcode::tip_pge,
+                          prog.funcAddr("m", "main"), last_ip);
+    trace::appendTipClass(bytes, trace::opcode::tip,
+                          prog.funcAddr("m", "f"), last_ip);
+    trace::appendOvf(bytes);    // trace ends inside the gap
+
+    auto result = decode::decodeInstructionFlow(prog, bytes);
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.branches.size(), 1u);
+    // index == branches.size(): the gap was never closed.
+    ASSERT_EQ(result.lossBranchIndices.size(), 1u);
+    EXPECT_EQ(result.lossBranchIndices[0], 1u);
+}
+
+TEST(FullDecoder, ResyncsPastGarbageToNextPsb)
+{
+    Program prog = lossProgram();
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    trace::appendPsb(bytes);
+    trace::appendPsbEnd(bytes);
+    trace::appendTipClass(bytes, trace::opcode::tip_pge,
+                          prog.funcAddr("m", "main"), last_ip);
+    trace::appendTipClass(bytes, trace::opcode::tip,
+                          prog.funcAddr("m", "f"), last_ip);
+    bytes.push_back(0x02);      // undecodable filler
+    bytes.push_back(0x99);
+    bytes.push_back(0xC7);
+    trace::appendPsb(bytes);
+    trace::appendPsbEnd(bytes);
+    last_ip = 0;
+    trace::appendTipClass(bytes, trace::opcode::tip_pge,
+                          prog.funcAddr("m", "g"), last_ip);
+
+    auto result = decode::decodeInstructionFlow(prog, bytes);
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.resyncs, 1u);
+    EXPECT_EQ(result.bytesSkipped, 3u);
+    ASSERT_EQ(result.branches.size(), 1u);
+    ASSERT_EQ(result.lossBranchIndices.size(), 1u);
+    EXPECT_EQ(result.lossBranchIndices[0], 1u);
+}
+
+TEST(FullDecoder, SurvivesRealEncoderOverflow)
+{
+    // A hot loop against a tiny ToPA with slow PMI service: the
+    // encoder overflows repeatedly and resyncs; the decoded branches
+    // must be an in-order subsequence of what actually retired.
+    ModuleBuilder mod("m", ModuleKind::Executable);
+    mod.function("main");
+    mod.movImm(1, 0);
+    mod.label("loop");
+    mod.movImmFunc(2, "callee");
+    mod.callInd(2);
+    mod.aluImm(AluOp::Add, 1, 1);
+    mod.cmpImm(1, 200);
+    mod.jcc(Cond::Lt, "loop");
+    mod.halt();
+    mod.function("callee");
+    mod.ret();
+    Program prog = Loader().addExecutable(mod.build()).link();
+
+    Recorder recorder;
+    trace::Topa topa({1024});
+    topa.setPmiServiceLatency(128);
+    trace::IptEncoder encoder(trace::IptConfig{}, topa);
+    cpu::Cpu cpu(prog);
+    cpu.addTraceSink(&recorder);
+    cpu.addTraceSink(&encoder);
+    ASSERT_EQ(cpu.run(100'000), cpu::Cpu::Stop::Halted);
+    encoder.flushTnt();
+    ASSERT_GT(topa.overflowEpisodes(), 0u);
+
+    auto result = decode::decodeInstructionFlow(prog, topa.snapshot());
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_TRUE(result.lossDetected());
+    EXPECT_FALSE(result.branches.empty());
+    // lossBranchIndices may legitimately be empty: when the ring only
+    // retains the final episode, the surviving gap precedes the first
+    // PSB anchor and no decoded adjacency is broken.
+
+    // Gap indices are sorted and in range.
+    for (size_t i = 0; i < result.lossBranchIndices.size(); ++i) {
+        EXPECT_LE(result.lossBranchIndices[i], result.branches.size());
+        if (i > 0) {
+            EXPECT_LE(result.lossBranchIndices[i - 1],
+                      result.lossBranchIndices[i]);
+        }
+    }
+
+    // Every decoded branch is a real retired branch, in order.
+    size_t j = 0;
+    for (const auto &branch : result.branches) {
+        while (j < recorder.events.size() &&
+               (recorder.events[j].kind != branch.kind ||
+                recorder.events[j].source != branch.source ||
+                recorder.events[j].target != branch.target))
+            ++j;
+        ASSERT_LT(j, recorder.events.size())
+            << "decoded branch is not in the retired sequence";
+        ++j;
+    }
+}
+
 /** Property over random server programs and inputs. */
 class FullDecodeProperty : public ::testing::TestWithParam<uint64_t>
 {};

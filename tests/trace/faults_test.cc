@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault injector: every mode is
+ * replayable from its seed, mutates only what it claims to, and
+ * reports the bytes it affected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/faults.hh"
+#include "trace/ipt.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::trace;
+
+std::vector<uint8_t>
+sampleBuffer(size_t n)
+{
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<uint8_t>(i * 37 + 11);
+    return out;
+}
+
+TEST(Faults, SameSeedSameDamage)
+{
+    for (FaultMode mode :
+         {FaultMode::CorruptBytes, FaultMode::FlipBits,
+          FaultMode::TruncateTail, FaultMode::DropRegion}) {
+        FaultSpec spec;
+        spec.mode = mode;
+        auto a = sampleBuffer(512);
+        auto b = sampleBuffer(512);
+        FaultInjector first(42);
+        FaultInjector second(42);
+        const size_t na = first.apply(spec, a);
+        const size_t nb = second.apply(spec, b);
+        EXPECT_EQ(na, nb) << spec.toString();
+        EXPECT_EQ(a, b) << spec.toString();
+    }
+}
+
+TEST(Faults, DifferentSeedsDiverge)
+{
+    FaultSpec spec;
+    spec.mode = FaultMode::CorruptBytes;
+    spec.count = 8;
+    auto a = sampleBuffer(512);
+    auto b = sampleBuffer(512);
+    FaultInjector first(1);
+    FaultInjector second(2);
+    first.apply(spec, a);
+    second.apply(spec, b);
+    EXPECT_NE(a, b);
+}
+
+TEST(Faults, CorruptBytesKeepsSize)
+{
+    auto buffer = sampleBuffer(256);
+    FaultInjector injector(7);
+    EXPECT_EQ(injector.corruptBytes(buffer, 4), 4u);
+    EXPECT_EQ(buffer.size(), 256u);
+}
+
+TEST(Faults, FlipBitsChangesExactlyOneBitPerHit)
+{
+    auto buffer = sampleBuffer(256);
+    const auto original = buffer;
+    FaultInjector injector(7);
+    injector.flipBits(buffer, 1);
+    int bits_changed = 0;
+    for (size_t i = 0; i < buffer.size(); ++i) {
+        uint8_t diff = buffer[i] ^ original[i];
+        while (diff) {
+            bits_changed += diff & 1;
+            diff >>= 1;
+        }
+    }
+    EXPECT_EQ(bits_changed, 1);
+}
+
+TEST(Faults, TruncateTailShrinksButNeverEmpties)
+{
+    for (uint64_t seed = 0; seed < 32; ++seed) {
+        auto buffer = sampleBuffer(64);
+        FaultInjector injector(seed);
+        const size_t removed = injector.truncateTail(buffer);
+        EXPECT_EQ(buffer.size() + removed, 64u);
+        EXPECT_GE(buffer.size(), 1u);
+        EXPECT_LT(buffer.size(), 64u);
+    }
+}
+
+TEST(Faults, DropRegionSplicesSurvivors)
+{
+    auto buffer = sampleBuffer(512);
+    const auto original = buffer;
+    FaultInjector injector(9);
+    const size_t removed = injector.dropRegion(buffer, 128);
+    EXPECT_EQ(removed, 128u);
+    ASSERT_EQ(buffer.size(), 384u);
+    // The survivors are two contiguous runs of the original.
+    size_t split = 0;
+    while (split < buffer.size() && buffer[split] == original[split])
+        ++split;
+    for (size_t i = split; i < buffer.size(); ++i)
+        EXPECT_EQ(buffer[i], original[i + removed]);
+}
+
+TEST(Faults, DropRegionLargerThanBufferEmptiesIt)
+{
+    auto buffer = sampleBuffer(64);
+    FaultInjector injector(3);
+    EXPECT_EQ(injector.dropRegion(buffer, 1024), 64u);
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Faults, EdgeCasesAreNoOps)
+{
+    std::vector<uint8_t> empty;
+    FaultInjector injector(1);
+    EXPECT_EQ(injector.corruptBytes(empty, 4), 0u);
+    EXPECT_EQ(injector.flipBits(empty, 4), 0u);
+    EXPECT_EQ(injector.truncateTail(empty), 0u);
+    EXPECT_EQ(injector.dropRegion(empty, 16), 0u);
+    std::vector<uint8_t> one{0x42};
+    EXPECT_EQ(injector.truncateTail(one), 0u);
+    ASSERT_EQ(one.size(), 1u);
+}
+
+TEST(Faults, DelayedPmiConfiguresTopa)
+{
+    Topa topa({8});
+    FaultInjector injector(5);
+    injector.delayPmi(topa, 16);
+    std::vector<uint8_t> data(9, 0xAA);
+    topa.write(data.data(), data.size());
+    EXPECT_TRUE(topa.inOverflow());
+
+    FaultSpec spec;
+    spec.mode = FaultMode::DelayedPmi;
+    std::vector<uint8_t> buffer(32, 0);
+    EXPECT_EQ(injector.apply(spec, buffer), 0u);    // no buffer form
+}
+
+TEST(Faults, SpecToStringNamesModeAndMagnitude)
+{
+    FaultSpec spec;
+    spec.mode = FaultMode::DropRegion;
+    spec.regionBytes = 256;
+    EXPECT_EQ(spec.toString(), "drop-region(256B)");
+    spec.mode = FaultMode::FlipBits;
+    spec.count = 4;
+    EXPECT_EQ(spec.toString(), "flip-bits(4)");
+    spec.mode = FaultMode::None;
+    EXPECT_EQ(spec.toString(), "none");
+}
+
+} // namespace

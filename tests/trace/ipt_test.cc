@@ -84,6 +84,102 @@ TEST(Topa, RejectsEmptyRegionList)
     EXPECT_THROW(Topa({}), SimError);
 }
 
+// --- PMI service latency / overflow episodes --------------------------------
+
+TEST(Topa, InstantServiceNeverOverflows)
+{
+    Topa topa({4});
+    int pmis = 0;
+    topa.setPmiCallback([&] { ++pmis; });
+    std::vector<uint8_t> data(9, 0xAA);
+    topa.write(data.data(), data.size());
+    EXPECT_EQ(pmis, 2);
+    EXPECT_FALSE(topa.inOverflow());
+    EXPECT_EQ(topa.overflowEpisodes(), 0u);
+    EXPECT_EQ(topa.droppedBytes(), 0u);
+    EXPECT_FALSE(topa.consumeOvfResyncPending());
+}
+
+TEST(Topa, DelayedServiceDropsPacketsThenFiresPmi)
+{
+    Topa topa({8});
+    int pmis = 0;
+    topa.setPmiCallback([&] { ++pmis; });
+    topa.setPmiServiceLatency(16);
+
+    std::vector<uint8_t> fill(8, 0x11);
+    topa.write(fill.data(), fill.size());   // exactly fills: wrap
+    EXPECT_TRUE(topa.inOverflow());
+    EXPECT_EQ(pmis, 0);     // service still pending
+
+    std::vector<uint8_t> lost(10, 0x22);
+    topa.write(lost.data(), lost.size());   // dropped wholesale
+    EXPECT_TRUE(topa.inOverflow());
+    EXPECT_EQ(pmis, 0);
+    EXPECT_EQ(topa.droppedBytes(), 10u);
+
+    std::vector<uint8_t> last(6, 0x33);
+    topa.write(last.data(), last.size());   // exhausts the latency
+    EXPECT_FALSE(topa.inOverflow());
+    EXPECT_EQ(pmis, 1);     // handler finally ran
+    EXPECT_EQ(topa.overflowEpisodes(), 1u);
+    EXPECT_EQ(topa.droppedBytes(), 16u);
+    EXPECT_TRUE(topa.consumeOvfResyncPending());
+    EXPECT_FALSE(topa.consumeOvfResyncPending());    // one-shot
+
+    // The buffer still holds what was captured at the wrap: none of
+    // the dropped bytes leaked into storage.
+    auto snap = topa.snapshot();
+    for (uint8_t byte : snap)
+        EXPECT_EQ(byte, 0x11);
+}
+
+TEST(Topa, MidPacketWrapDropsPacketWholeAndPadsTail)
+{
+    Topa topa({8});
+    topa.setPmiServiceLatency(8);
+    // A 12-byte packet cannot complete before the wrap: the whole
+    // packet is dropped, and the 8 bytes it had already landed are
+    // padded out (0x00) so no snapshot ever sees a torn prefix. Only
+    // the 4 never-written bytes count against the latency budget.
+    std::vector<uint8_t> data(12, 0x55);
+    topa.write(data.data(), data.size());
+    EXPECT_TRUE(topa.inOverflow());
+    EXPECT_EQ(topa.totalWritten(), 8u);
+    EXPECT_EQ(topa.droppedBytes(), 12u);
+    EXPECT_EQ(topa.overflowEpisodes(), 0u);
+    for (uint8_t byte : topa.snapshot())
+        EXPECT_EQ(byte, 0x00);
+}
+
+TEST(Topa, PacketEndingExactlyAtWrapIsKept)
+{
+    Topa topa({8});
+    topa.setPmiServiceLatency(8);
+    // The packet completes exactly as the region fills: nothing is
+    // torn, so nothing is padded away.
+    std::vector<uint8_t> data(8, 0x55);
+    topa.write(data.data(), data.size());
+    EXPECT_TRUE(topa.inOverflow());
+    EXPECT_EQ(topa.droppedBytes(), 0u);
+    for (uint8_t byte : topa.snapshot())
+        EXPECT_EQ(byte, 0x55);
+}
+
+TEST(Topa, ClearResetsOverflowState)
+{
+    Topa topa({4});
+    topa.setPmiServiceLatency(8);
+    std::vector<uint8_t> data(6, 0xAA);
+    topa.write(data.data(), data.size());
+    EXPECT_TRUE(topa.inOverflow());
+    topa.clear();
+    EXPECT_FALSE(topa.inOverflow());
+    EXPECT_EQ(topa.overflowEpisodes(), 0u);
+    EXPECT_EQ(topa.droppedBytes(), 0u);
+    EXPECT_FALSE(topa.consumeOvfResyncPending());
+}
+
 // --- packet generation rules -----------------------------------------------
 
 TEST(IptEncoder, DirectTransfersProduceNoPackets)
@@ -193,6 +289,45 @@ TEST(IptEncoder, SyscallEmitsFupPgdThenPgeOnResume)
     EXPECT_TRUE(pgd.ipSuppressed);
     EXPECT_EQ(pge.kind, PacketKind::TipPge);
     EXPECT_EQ(pge.ip, 0x400102u);
+}
+
+TEST(IptEncoder, OverflowEmitsOvfThenPsbResync)
+{
+    Topa topa({256});
+    topa.setPmiServiceLatency(64);
+    IptConfig config;
+    config.psbPeriodBytes = 1 << 30;
+    IptEncoder encoder(config, topa);
+
+    uint64_t ip = 0x400000;
+    while (topa.overflowEpisodes() == 0) {
+        encoder.onBranch(event(BranchKind::IndirectCall, ip,
+                               ip + 0x40));
+        ip += 0x40;
+        ASSERT_LT(ip, 0x500000u);   // overflow must happen eventually
+    }
+    // The episode just ended: the resync is owed but not yet emitted.
+    EXPECT_EQ(encoder.stats().ovfPackets, 0u);
+
+    encoder.onBranch(event(BranchKind::IndirectCall, ip, ip + 0x40));
+    EXPECT_EQ(encoder.stats().ovfPackets, 1u);
+
+    // The wire holds OVF immediately followed by a full validated
+    // PSB — the decoder's resync anchor.
+    auto snap = topa.snapshot();
+    bool found = false;
+    for (size_t i = 0; i + 2 <= snap.size(); ++i) {
+        if (snap[i] == 0x02 && snap[i + 1] == 0xF3 &&
+            findNextPsb(snap.data(), snap.size(), i) == i + 2) {
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found);
+    // Context dropped at the loss: the post-resync branch re-entered
+    // via TIP.PGE.
+    EXPECT_TRUE(encoder.contextOn());
+    EXPECT_GE(encoder.stats().pgePackets, 2u);
 }
 
 // --- filtering -----------------------------------------------------------------

@@ -173,8 +173,10 @@ TEST(Packets, PsbEndParses)
     EXPECT_EQ(pkt.kind, PacketKind::PsbEnd);
 }
 
-TEST(Packets, TruncatedTipSetsBad)
+TEST(Packets, TruncatedTipSetsTruncatedNotBad)
 {
+    // A buffer ending mid-packet is a torn snapshot tail, not
+    // corruption: truncated(), never bad().
     std::vector<uint8_t> bytes;
     uint64_t last_ip = 0;
     appendTipClass(bytes, opcode::tip, 0x7fff12345678ULL, last_ip);
@@ -182,7 +184,8 @@ TEST(Packets, TruncatedTipSetsBad)
     PacketParser parser(bytes);
     Packet pkt;
     EXPECT_FALSE(parser.next(pkt));
-    EXPECT_TRUE(parser.bad());
+    EXPECT_FALSE(parser.bad());
+    EXPECT_TRUE(parser.truncated());
 }
 
 TEST(Packets, GarbageHeaderSetsBad)
@@ -209,6 +212,96 @@ TEST(Packets, FindPsbOffsets)
     ASSERT_EQ(offsets.size(), 2u);
     EXPECT_EQ(offsets[0], first);
     EXPECT_EQ(offsets[1], second);
+}
+
+TEST(Packets, OvfRoundTrip)
+{
+    std::vector<uint8_t> bytes;
+    appendOvf(bytes);
+    ASSERT_EQ(bytes.size(), 2u);
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::Ovf);
+    EXPECT_EQ(pkt.size, 2u);
+    EXPECT_FALSE(parser.next(pkt));
+    EXPECT_FALSE(parser.bad());
+}
+
+TEST(Packets, OvfPreservesCompressionState)
+{
+    // OVF itself does not reset last-IP — only the PSB that follows
+    // it does. A decoder that reset at OVF would mis-expand the next
+    // compressed TIP.
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400010, last_ip);
+    appendOvf(bytes);
+    appendTipClass(bytes, opcode::tip, 0x400020, last_ip);
+
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.ip, 0x400010u);
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::Ovf);
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.ip, 0x400020u);
+}
+
+TEST(Packets, PsbScanRejectsTipPayloadFalsePositive)
+{
+    // Regression: a TIP whose little-endian payload is itself a
+    // perfect 0x02 0x82 run glues onto the genuine PSB behind it.
+    // The raw 16-byte pattern first matches *inside* the payload;
+    // syncing there would start decoding mid-packet.
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400000, last_ip);
+    appendTipClass(bytes, opcode::tip, 0x8202820282028202ULL,
+                   last_ip);
+    const size_t psb_at = bytes.size();
+    appendPsb(bytes);
+    appendPsbEnd(bytes);
+
+    auto offsets = findPsbOffsets(bytes.data(), bytes.size());
+    ASSERT_EQ(offsets.size(), 1u);
+    EXPECT_EQ(offsets[0], psb_at);
+    EXPECT_EQ(findNextPsb(bytes.data(), bytes.size(), 0), psb_at);
+
+    // Decoding from the validated offset must see the PSB first.
+    PacketParser parser(bytes);
+    parser.seek(offsets[0]);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::Psb);
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::PsbEnd);
+    EXPECT_FALSE(parser.bad());
+}
+
+TEST(Packets, PsbScanPartialPairPrefix)
+{
+    // A payload contributing 0x82 alone (odd phase) must not shift
+    // the accepted offset either.
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x8202820282028282ULL,
+                   last_ip);
+    const size_t psb_at = bytes.size();
+    appendPsb(bytes);
+    auto offsets = findPsbOffsets(bytes.data(), bytes.size());
+    ASSERT_EQ(offsets.size(), 1u);
+    EXPECT_EQ(offsets[0], psb_at);
+}
+
+TEST(Packets, FindNextPsbReturnsNoneWithoutSync)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400000, last_ip);
+    appendTnt(bytes, 0b10, 2);
+    EXPECT_EQ(findNextPsb(bytes.data(), bytes.size(), 0), SIZE_MAX);
 }
 
 /** Property: random packet sequences always round-trip exactly. */
@@ -288,5 +381,83 @@ TEST_P(PacketStreamProperty, RandomStreamRoundTrips)
 INSTANTIATE_TEST_SUITE_P(Seeds, PacketStreamProperty,
                          ::testing::Values(1, 7, 99, 12345,
                                            0xfeedface));
+
+TEST(Packets, TruncatedTipAtEndIsCleanEofNotBad)
+{
+    // A snapshot racing the write cursor tears the final packet: a
+    // valid TIP header whose payload runs past the buffer end must
+    // read as end-of-data, not as malformed bytes — fail-closed
+    // policies would otherwise convict every benign wrap.
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    appendTipClass(bytes, opcode::tip, 0x77550000AABBCCDDULL, last_ip);
+    bytes.resize(bytes.size() - 3);     // tear the payload
+
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.ip, 0x400100u);
+    EXPECT_FALSE(parser.next(pkt));
+    EXPECT_FALSE(parser.bad());
+    EXPECT_TRUE(parser.truncated());
+    // Terminal: further next() calls stay put.
+    EXPECT_FALSE(parser.next(pkt));
+}
+
+TEST(Packets, TruncatedPsbAtEndIsCleanEof)
+{
+    std::vector<uint8_t> bytes;
+    appendPsb(bytes);
+    bytes.resize(bytes.size() - 5);     // mid-pattern cut
+
+    PacketParser parser(bytes);
+    Packet pkt;
+    EXPECT_FALSE(parser.next(pkt));
+    EXPECT_FALSE(parser.bad());
+    EXPECT_TRUE(parser.truncated());
+}
+
+TEST(Packets, LoneSyncByteAtEndIsCleanEof)
+{
+    std::vector<uint8_t> bytes{0x00, 0x02};
+    PacketParser parser(bytes);
+    Packet pkt;
+    ASSERT_TRUE(parser.next(pkt));      // the PAD
+    EXPECT_FALSE(parser.next(pkt));
+    EXPECT_FALSE(parser.bad());
+    EXPECT_TRUE(parser.truncated());
+}
+
+TEST(Packets, MidBufferGarbageIsStillBad)
+{
+    // Truncation leniency must not extend to interior damage.
+    std::vector<uint8_t> bytes{0x02, 0x99, 0x00};
+    PacketParser parser(bytes);
+    Packet pkt;
+    EXPECT_FALSE(parser.next(pkt));
+    EXPECT_TRUE(parser.bad());
+    EXPECT_FALSE(parser.truncated());
+}
+
+TEST(Packets, SeekClearsTruncation)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t last_ip = 0;
+    appendPsb(bytes);
+    appendTipClass(bytes, opcode::tip, 0x400100, last_ip);
+    const size_t full = bytes.size();
+    appendTipClass(bytes, opcode::tip, 0x12345678DEADBEEFULL, last_ip);
+    bytes.resize(full + 2);             // tear the second TIP
+
+    PacketParser parser(bytes);
+    Packet pkt;
+    while (parser.next(pkt)) {}
+    EXPECT_TRUE(parser.truncated());
+    parser.seek(0);
+    EXPECT_FALSE(parser.truncated());
+    ASSERT_TRUE(parser.next(pkt));
+    EXPECT_EQ(pkt.kind, PacketKind::Psb);
+}
 
 } // namespace
