@@ -33,9 +33,13 @@ demo(const char *title, FlowGuard &guard,
     auto protected_run = guard.run(attack.request);
     if (protected_run.attackDetected) {
         const auto &violation = protected_run.violations.front();
-        std::printf("  FlowGuard:   DETECTED at %s endpoint "
-                    "(%s), flow 0x%llx -> 0x%llx, SIGKILL; "
+        std::printf("  FlowGuard:   DETECTED [%s] cr3=0x%llx "
+                    "endpoint #%llu (%s syscall): %s, "
+                    "flow 0x%llx -> 0x%llx, SIGKILL; "
                     "%zu bytes exfiltrated\n\n",
+                    runtime::violationKindName(violation.kind),
+                    static_cast<unsigned long long>(violation.cr3),
+                    static_cast<unsigned long long>(violation.seq),
                     isa::syscallName(violation.syscall),
                     violation.reason.c_str(),
                     static_cast<unsigned long long>(violation.from),

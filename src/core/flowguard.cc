@@ -140,9 +140,10 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
 
     runtime::FlowGuardKernel::Config kernel_config;
     kernel_config.endpoints = _config.endpoints;
-    kernel_config.protectedCr3 = _program.cr3();
+    kernel_config.protectedCr3s = {_program.cr3()};
     runtime::FlowGuardKernel kernel(kernel_config);
-    kernel.attachMonitor(monitor, encoder, topa, &outcome.cycles);
+    kernel.attachProcess(_program.cr3(), monitor, encoder, topa,
+                         &outcome.cycles);
     kernel.setInput(input);
     cpu.setSyscallHandler(&kernel);
 
@@ -182,6 +183,36 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
     outcome.cycles.app = static_cast<double>(cpu.instCount()) *
                          cpu::cost::app_cpi;
     return outcome;
+}
+
+std::unique_ptr<FlowGuard::ProcessHarness>
+FlowGuard::makeProcessHarness(const isa::Program &program)
+{
+    analyze();
+    auto harness = std::make_unique<ProcessHarness>();
+    harness->cpu = std::make_unique<cpu::Cpu>(program);
+    harness->topa = std::make_unique<trace::Topa>(_config.topaRegions);
+    harness->topa->setPmiServiceLatency(
+        _config.pmiServiceLatencyBytes);
+
+    trace::IptConfig ipt_config;
+    ipt_config.cr3Filter = true;
+    ipt_config.cr3Match = program.cr3();
+    ipt_config.psbPeriodBytes = _config.psbPeriodBytes;
+    harness->encoder = std::make_unique<trace::IptEncoder>(
+        ipt_config, *harness->topa, &harness->cycles);
+    harness->cpu->addTraceSink(harness->encoder.get());
+
+    runtime::MonitorConfig monitor_config;
+    monitor_config.fastPath = _config.fastPath;
+    monitor_config.cacheSlowPathVerdicts =
+        _config.cacheSlowPathVerdicts;
+    monitor_config.lossPolicy = _config.lossPolicy;
+    monitor_config.autoCommitCache = false;
+    harness->monitor = std::make_unique<runtime::Monitor>(
+        program, *_itc, *_ocfg, *_typearmor, monitor_config,
+        &harness->cycles, _paths.get());
+    return harness;
 }
 
 FlowGuard::RunOutcome

@@ -144,6 +144,33 @@ class FlowGuard
     RunOutcome run(const std::vector<uint8_t> &input,
                    uint64_t max_insts = 50'000'000);
 
+    /**
+     * One protected process's online stack (CPU, ToPA, encoder,
+     * monitor) built from this guard's trained offline artifacts —
+     * the unit a multi-process service experiment wires into a
+     * cpu::Machine + runtime::ProtectionService alongside its peers.
+     */
+    struct ProcessHarness
+    {
+        std::unique_ptr<cpu::Cpu> cpu;
+        std::unique_ptr<trace::Topa> topa;
+        std::unique_ptr<trace::IptEncoder> encoder;
+        std::unique_ptr<runtime::Monitor> monitor;
+        cpu::CycleAccount cycles;
+    };
+
+    /**
+     * Builds the online stack for `program` — typically a copy of
+     * the analyzed binary mapped under a different CR3, so several
+     * processes share one trained ITC-CFG. `program` must outlive
+     * the harness. The monitor is created with autoCommitCache
+     * cleared: in service runs the check scheduler owns cache
+     * commits (a timed-out or deferred verdict must never earn
+     * durable credit).
+     */
+    std::unique_ptr<ProcessHarness>
+    makeProcessHarness(const isa::Program &program);
+
     /** Baseline: same program, no tracing, no checking. */
     RunOutcome runUnprotected(const std::vector<uint8_t> &input,
                               uint64_t max_insts = 50'000'000) const;

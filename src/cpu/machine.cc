@@ -4,6 +4,15 @@
 
 namespace flowguard::cpu {
 
+void
+Machine::setSuspended(uint64_t cr3, bool suspended)
+{
+    if (suspended)
+        _suspendedCr3s.insert(cr3);
+    else
+        _suspendedCr3s.erase(cr3);
+}
+
 Machine::Result
 Machine::run(uint64_t max_total_insts)
 {
@@ -17,6 +26,8 @@ Machine::run(uint64_t max_total_insts)
         for (size_t i = 0; i < _processes.size(); ++i) {
             Cpu *cpu = _processes[i];
             if (cpu->state() != Cpu::Stop::Running)
+                continue;
+            if (_suspendedCr3s.count(cpu->program().cr3()))
                 continue;
             if (on_core != static_cast<int64_t>(i)) {
                 if (on_core >= 0)

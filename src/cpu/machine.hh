@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "cpu/cpu.hh"
@@ -39,6 +40,20 @@ class Machine
         _onSwitch = std::move(callback);
     }
 
+    /**
+     * Quarantine support: a suspended process keeps its state but is
+     * skipped by the scheduler until resumed. Safe to toggle from a
+     * syscall handler mid-run (takes effect at the next scheduling
+     * pass). When every remaining runnable process is suspended the
+     * run loop terminates rather than spinning — a wedged service
+     * never deadlocks the machine.
+     */
+    void setSuspended(uint64_t cr3, bool suspended);
+    bool suspended(uint64_t cr3) const
+    {
+        return _suspendedCr3s.count(cr3) != 0;
+    }
+
     struct Result
     {
         uint64_t instructions = 0;
@@ -51,6 +66,12 @@ class Machine
      * Round-robins the processes until all have stopped or the
      * global instruction budget is exhausted. The switch callback
      * fires whenever a different process is put on the core.
+     *
+     * Determinism guarantee: the schedule is a pure function of the
+     * process list, quantum, budget and each process's own behavior.
+     * Identical inputs produce identical Results (instructions,
+     * contextSwitches, stop vector order) — overload experiments are
+     * exactly replayable.
      */
     Result run(uint64_t max_total_insts = UINT64_MAX);
 
@@ -58,6 +79,7 @@ class Machine
     std::vector<Cpu *> _processes;
     uint64_t _quantum = 5000;
     SwitchCallback _onSwitch;
+    std::set<uint64_t> _suspendedCr3s;
 };
 
 } // namespace flowguard::cpu

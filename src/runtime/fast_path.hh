@@ -107,6 +107,9 @@ class FastPathChecker
 
     const FastPathConfig &config() const { return _config; }
 
+    /** Overload batching: widen/narrow the checked window live. */
+    void setPktCount(size_t pkt_count) { _config.pktCount = pkt_count; }
+
   private:
     const analysis::ItcCfg &_itc;
     const isa::Program &_program;

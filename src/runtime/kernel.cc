@@ -1,11 +1,26 @@
 #include "runtime/kernel.hh"
 
 #include "isa/syscalls.hh"
+#include "runtime/service.hh"
 #include "support/logging.hh"
 
 namespace flowguard::runtime {
 
 using isa::Syscall;
+
+const char *
+violationKindName(ViolationReport::Kind kind)
+{
+    switch (kind) {
+      case ViolationReport::Kind::CfiViolation: return "cfi-violation";
+      case ViolationReport::Kind::TraceLoss: return "trace-loss";
+      case ViolationReport::Kind::CheckTimeout: return "check-timeout";
+      case ViolationReport::Kind::AttachFailure:
+        return "attach-failure";
+      case ViolationReport::Kind::Quarantined: return "quarantined";
+    }
+    return "?";
+}
 
 std::set<int64_t>
 FlowGuardKernel::defaultEndpoints()
@@ -24,24 +39,45 @@ FlowGuardKernel::FlowGuardKernel(Config config)
 {}
 
 void
-FlowGuardKernel::attachMonitor(Monitor &monitor,
+FlowGuardKernel::attachProcess(uint64_t cr3, Monitor &monitor,
                                trace::IptEncoder &encoder,
                                trace::Topa &topa,
                                cpu::CycleAccount *account)
 {
-    _monitor = &monitor;
-    _encoder = &encoder;
-    _topa = &topa;
-    _account = account;
+    Endpoint endpoint;
+    endpoint.monitor = &monitor;
+    endpoint.encoder = &encoder;
+    endpoint.topa = &topa;
+    endpoint.account = account;
+    _endpoints[cr3] = endpoint;
+    _config.protectedCr3s.insert(cr3);
+}
+
+cpu::SyscallResult
+FlowGuardKernel::killWith(ViolationReport report)
+{
+    warn("FlowGuard: ", violationKindName(report.kind), " — SIGKILL (",
+         report.reason, ")");
+    _violations.push_back(std::move(report));
+    ++_kills;
+    cpu::SyscallResult result;
+    result.action = cpu::SyscallResult::Action::Kill;
+    return result;
 }
 
 cpu::SyscallResult
 FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
 {
+    const uint64_t cr3 = cpu.program().cr3();
+
     if (_config.enabled && _pmi && _pmi->violationPending() &&
-        cpu.program().cr3() == _config.protectedCr3) {
+        _config.protectedCr3s.count(cr3)) {
         ViolationReport report;
+        report.cr3 = cr3;
         report.syscall = number;
+        auto it = _endpoints.find(cr3);
+        if (it != _endpoints.end())
+            report.seq = it->second.seq;
         switch (_pmi->violationSource()) {
           case Monitor::VerdictSource::LossPolicy:
             report.kind = ViolationReport::Kind::TraceLoss;
@@ -59,32 +95,52 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
             break;
         }
         _pmi->acknowledge();
-        _violations.push_back(std::move(report));
-        ++_kills;
-        warn("FlowGuard: PMI-detected violation — SIGKILL");
-        cpu::SyscallResult result;
-        result.action = cpu::SyscallResult::Action::Kill;
-        return result;
+        return killWith(std::move(report));
     }
 
-    const bool intercept = _config.enabled && _monitor &&
+    if (_config.enabled && _service) {
+        // Service mode: deferred verdicts and quarantine kills land
+        // at the next controllable boundary — any syscall, not just
+        // endpoints — and endpoint checks go through the scheduler.
+        ViolationReport pending;
+        if (_service->consumePendingKill(cr3, pending))
+            return killWith(std::move(pending));
+        if (_config.endpoints.count(number) &&
+            _service->isProtected(cr3)) {
+            ++_endpointHits;
+            EndpointDecision decision =
+                _service->onEndpoint(cpu, number);
+            if (decision.kill)
+                return killWith(std::move(decision.report));
+        }
+        return dispatch(cpu, number);
+    }
+
+    // Inline mode: the original single-kernel path, generalized over
+    // the CR3 registry. Checks run synchronously with no deadline.
+    const bool intercept = _config.enabled &&
         _config.endpoints.count(number) &&
-        cpu.program().cr3() == _config.protectedCr3;
+        _config.protectedCr3s.count(cr3);
+    auto it = intercept ? _endpoints.find(cr3) : _endpoints.end();
 
-    if (intercept) {
+    if (it != _endpoints.end()) {
+        Endpoint &endpoint = it->second;
         ++_endpointHits;
-        if (_account)
-            _account->other += cpu::cost::intercept_per_syscall;
+        ++endpoint.seq;
+        if (endpoint.account)
+            endpoint.account->other += cpu::cost::intercept_per_syscall;
 
-        _encoder->flushTnt();
+        endpoint.encoder->flushTnt();
         const CheckVerdict verdict =
-            _monitor->check(_topa->snapshot());
+            endpoint.monitor->check(endpoint.topa->snapshot());
         if (verdict == CheckVerdict::Violation) {
             ViolationReport report;
+            report.cr3 = cr3;
+            report.seq = endpoint.seq;
             report.syscall = number;
-            const auto &fast = _monitor->lastFast();
-            const auto &slow = _monitor->lastSlow();
-            switch (_monitor->lastVerdictSource()) {
+            const auto &fast = endpoint.monitor->lastFast();
+            const auto &slow = endpoint.monitor->lastSlow();
+            switch (endpoint.monitor->lastVerdictSource()) {
               case Monitor::VerdictSource::LossPolicy:
                 report.kind = ViolationReport::Kind::TraceLoss;
                 report.reason = "trace loss (fail-closed policy)";
@@ -100,13 +156,7 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
                 report.reason = "slow path: " + slow.reason;
                 break;
             }
-            _violations.push_back(std::move(report));
-            ++_kills;
-            warn("FlowGuard: control flow violation at ",
-                 isa::syscallName(number), " — SIGKILL");
-            cpu::SyscallResult result;
-            result.action = cpu::SyscallResult::Action::Kill;
-            return result;
+            return killWith(std::move(report));
         }
     }
     return dispatch(cpu, number);

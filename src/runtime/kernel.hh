@@ -3,17 +3,25 @@
  * FlowGuardKernel — the kernel-module half of FlowGuard (§5.2).
  *
  * Interposes on the syscall table: when a security-sensitive syscall
- * is issued by the protected process (matched by CR3), flow checking
+ * is issued by a protected process (matched by CR3), flow checking
  * is triggered before the original handler runs. On a violation the
  * process receives SIGKILL and the event is logged for the
  * administrator; everything else forwards to the plain kernel
  * services (BasicKernel).
+ *
+ * The kernel protects a *set* of processes: Config carries a CR3
+ * registry and each protected process is wired to its own checking
+ * engine with attachProcess(). A ProtectionService may additionally
+ * be attached; endpoint checks then route through its scheduler
+ * (bounded queues, deadlines, circuit breakers) instead of running
+ * unbounded inline.
  */
 
 #ifndef FLOWGUARD_RUNTIME_KERNEL_HH
 #define FLOWGUARD_RUNTIME_KERNEL_HH
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -25,23 +33,41 @@
 
 namespace flowguard::runtime {
 
+class ProtectionService;
+
 /** One logged detection, the report "to administrators or users". */
 struct ViolationReport
 {
     /**
      * What the report actually claims: a CfiViolation is evidence of
      * a hijacked control flow; a TraceLoss conviction only says the
-     * fail-closed policy refused to pass an unverifiable window. An
-     * administrator triages them very differently.
+     * fail-closed policy refused to pass an unverifiable window; a
+     * CheckTimeout conviction says the overload policy refused to
+     * wait for the verdict; AttachFailure and Quarantined are
+     * control-plane outcomes (a process the service could not
+     * protect, a process the circuit breaker isolated). An
+     * administrator triages each very differently.
      */
-    enum class Kind : uint8_t { CfiViolation, TraceLoss };
+    enum class Kind : uint8_t {
+        CfiViolation,
+        TraceLoss,
+        CheckTimeout,
+        AttachFailure,
+        Quarantined,
+    };
 
     Kind kind = Kind::CfiViolation;
+    /** Process identity: multi-process reports must be attributable. */
+    uint64_t cr3 = 0;
+    /** Endpoint sequence number within that process (1-based). */
+    uint64_t seq = 0;
     int64_t syscall = 0;
     uint64_t from = 0;
     uint64_t to = 0;
     std::string reason;
 };
+
+const char *violationKindName(ViolationReport::Kind kind);
 
 class FlowGuardKernel : public cpu::BasicKernel
 {
@@ -49,7 +75,8 @@ class FlowGuardKernel : public cpu::BasicKernel
     struct Config
     {
         std::set<int64_t> endpoints = defaultEndpoints();
-        uint64_t protectedCr3 = 0;
+        /** The protection registry: CR3s of all guarded processes. */
+        std::set<uint64_t> protectedCr3s;
         bool enabled = true;
     };
 
@@ -62,12 +89,23 @@ class FlowGuardKernel : public cpu::BasicKernel
     explicit FlowGuardKernel(Config config);
 
     /**
-     * Wires the checking engine to the tracing hardware of the
-     * protected process. Must be called before endpoints fire.
+     * Wires the checking engine of one protected process (keyed by
+     * its CR3) to its tracing hardware. Must be called before that
+     * process's endpoints fire.
      */
-    void attachMonitor(Monitor &monitor, trace::IptEncoder &encoder,
-                       trace::Topa &topa,
+    void attachProcess(uint64_t cr3, Monitor &monitor,
+                       trace::IptEncoder &encoder, trace::Topa &topa,
                        cpu::CycleAccount *account = nullptr);
+
+    /**
+     * Routes endpoint checks through a protection service (overload
+     * policies, deadlines, circuit breakers, deferred kills). The
+     * service must outlive the kernel.
+     */
+    void attachService(ProtectionService &service)
+    {
+        _service = &service;
+    }
 
     /**
      * Enables the §7.1.2 fallback: PMI-window violations detected by
@@ -87,12 +125,22 @@ class FlowGuardKernel : public cpu::BasicKernel
     }
 
   private:
+    /** Per-process endpoint wiring (checking engine + trace tap). */
+    struct Endpoint
+    {
+        Monitor *monitor = nullptr;
+        trace::IptEncoder *encoder = nullptr;
+        trace::Topa *topa = nullptr;
+        cpu::CycleAccount *account = nullptr;
+        uint64_t seq = 0;       ///< endpoint hits for this process
+    };
+
+    cpu::SyscallResult killWith(ViolationReport report);
+
     Config _config;
-    Monitor *_monitor = nullptr;
+    std::map<uint64_t, Endpoint> _endpoints;
+    ProtectionService *_service = nullptr;
     PmiGuard *_pmi = nullptr;
-    trace::IptEncoder *_encoder = nullptr;
-    trace::Topa *_topa = nullptr;
-    cpu::CycleAccount *_account = nullptr;
     uint64_t _endpointHits = 0;
     uint64_t _kills = 0;
     std::vector<ViolationReport> _violations;

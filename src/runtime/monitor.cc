@@ -43,9 +43,14 @@ Monitor::check(const std::vector<uint8_t> &packets)
     return finishCheck(_fast.check(packets), packets);
 }
 
-CheckVerdict
-Monitor::finishCheck(FastPathResult fast,
-                     const std::vector<uint8_t> &packets)
+Monitor::FastPhaseOutcome
+Monitor::fastPhase(const std::vector<uint8_t> &packets)
+{
+    return resolveFast(_fast.check(packets));
+}
+
+Monitor::FastPhaseOutcome
+Monitor::resolveFast(FastPathResult fast)
 {
     ++_stats.checks;
     _lastFast = std::move(fast);
@@ -54,46 +59,58 @@ Monitor::finishCheck(FastPathResult fast,
     _stats.edgesChecked += _lastFast.edgesChecked;
     _stats.highCreditEdges += _lastFast.highCreditEdges;
 
-    const bool loss = _lastFast.lossDetected();
-    if (loss) {
+    FastPhaseOutcome outcome;
+    outcome.loss = _lastFast.lossDetected();
+    if (outcome.loss) {
         ++_stats.lossWindows;
         _stats.overflows += _lastFast.overflows;
         _stats.resyncs += _lastFast.resyncs;
         _stats.bytesSkipped += _lastFast.bytesSkipped;
     }
 
-    if (loss && _config.lossPolicy == LossPolicy::FailClosed) {
+    if (outcome.loss && _config.lossPolicy == LossPolicy::FailClosed) {
         // The gap could hide anything; the policy says nothing passes
         // unverified. This is a loss conviction, not a flow mismatch.
         ++_stats.lossViolations;
         ++_stats.violations;
         _lastSource = VerdictSource::LossPolicy;
-        return CheckVerdict::Violation;
+        outcome.verdict = CheckVerdict::Violation;
+        return outcome;
     }
-    if (loss && _config.lossPolicy == LossPolicy::LogAndPass)
+    if (outcome.loss && _config.lossPolicy == LossPolicy::LogAndPass)
         ++_stats.lossAccepted;
 
     // Under EscalateSlowPath a lossy window always goes to the slow
     // path: the fast decode of a damaged buffer is trusted neither to
     // pass nor to convict — the full decode of what survived decides.
-    const bool escalate_loss =
-        loss && _config.lossPolicy == LossPolicy::EscalateSlowPath;
+    const bool escalate_loss = outcome.loss &&
+        _config.lossPolicy == LossPolicy::EscalateSlowPath;
 
     if (!escalate_loss) {
         if (_lastFast.verdict == CheckVerdict::Pass) {
             ++_stats.fastPass;
-            return CheckVerdict::Pass;
+            outcome.verdict = CheckVerdict::Pass;
+            return outcome;
         }
         if (_lastFast.verdict == CheckVerdict::Violation) {
             ++_stats.violations;
-            return CheckVerdict::Violation;
+            outcome.verdict = CheckVerdict::Violation;
+            return outcome;
         }
     }
 
-    // Suspicious (or loss escalation): upcall into the slow-path engine.
-    ++_stats.slowChecks;
+    outcome.needSlow = true;
+    outcome.verdict = CheckVerdict::Suspicious;
     if (escalate_loss)
         ++_stats.lossEscalations;
+    return outcome;
+}
+
+CheckVerdict
+Monitor::slowPhase(const std::vector<uint8_t> &packets, bool loss)
+{
+    // Suspicious (or loss escalation): upcall into the slow-path engine.
+    ++_stats.slowChecks;
     _lastSlow = _slow.check(packets);
     _lastSource = VerdictSource::SlowPath;
     if (_lastSlow.verdict == CheckVerdict::Violation) {
@@ -105,31 +122,73 @@ Monitor::finishCheck(FastPathResult fast,
     // Never cache verdicts from a lossy window: edges extracted from
     // a damaged buffer must not earn durable high credit.
     if (_config.cacheSlowPathVerdicts && !loss) {
-        // The slow path vouched for this window; promote its edges so
-        // the fast path handles recurrences alone (§7.1.1). A wrapped
-        // ToPA snapshot starts mid-packet, so sync at the first PSB.
-        auto flow = decode::decodeRecentTips(
-            packets.data(), packets.size(), packets.size());
-        auto transitions = decode::extractTipTransitions(flow);
-        if (_paths) {
-            std::vector<uint64_t> targets;
-            targets.reserve(transitions.size());
-            for (const auto &transition : transitions)
-                targets.push_back(transition.to);
-            _paths->observe(targets);
-        }
-        for (const auto &transition : transitions) {
-            if (transition.from == 0)
-                continue;
-            const int64_t edge =
-                _itc.findEdge(transition.from, transition.to);
-            if (edge < 0)
-                continue;
-            _itc.setHighCredit(edge);
-            _itc.addTntSequence(edge, transition.tnt);
-        }
+        stageCache(packets);
+        if (_config.autoCommitCache)
+            commitCache();
     }
     return CheckVerdict::Pass;
+}
+
+CheckVerdict
+Monitor::finishCheck(FastPathResult fast,
+                     const std::vector<uint8_t> &packets)
+{
+    const FastPhaseOutcome outcome = resolveFast(std::move(fast));
+    if (!outcome.needSlow)
+        return outcome.verdict;
+    return slowPhase(packets, outcome.loss);
+}
+
+void
+Monitor::stageCache(const std::vector<uint8_t> &packets)
+{
+    // The slow path vouched for this window; stage its edges for
+    // promotion so the fast path handles recurrences alone (§7.1.1).
+    // A wrapped ToPA snapshot starts mid-packet, so sync at the first
+    // PSB.
+    auto flow = decode::decodeRecentTips(
+        packets.data(), packets.size(), packets.size());
+    _cacheTransitions = decode::extractTipTransitions(flow);
+    _cachePending = true;
+}
+
+void
+Monitor::commitCache()
+{
+    if (!_cachePending)
+        return;
+    if (_paths) {
+        std::vector<uint64_t> targets;
+        targets.reserve(_cacheTransitions.size());
+        for (const auto &transition : _cacheTransitions)
+            targets.push_back(transition.to);
+        _paths->observe(targets);
+    }
+    for (const auto &transition : _cacheTransitions) {
+        if (transition.from == 0)
+            continue;
+        const int64_t edge =
+            _itc.findEdge(transition.from, transition.to);
+        if (edge < 0)
+            continue;
+        _itc.setHighCredit(edge);
+        _itc.addTntSequence(edge, transition.tnt);
+    }
+    discardCache();
+}
+
+void
+Monitor::discardCache()
+{
+    _cacheTransitions.clear();
+    _cachePending = false;
+}
+
+void
+Monitor::setPktCount(size_t pkt_count)
+{
+    _config.fastPath.pktCount = pkt_count;
+    _fast.setPktCount(pkt_count);
 }
 
 } // namespace flowguard::runtime

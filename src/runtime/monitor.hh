@@ -50,6 +50,14 @@ struct MonitorConfig
     bool cacheSlowPathVerdicts = true;
     /** Degradation policy for windows with trace loss. */
     LossPolicy lossPolicy = LossPolicy::EscalateSlowPath;
+    /**
+     * Apply the verdict cache as soon as the slow path vouches for a
+     * window (the single-process §7.1.1 behavior). The protection
+     * service clears this and commits explicitly, because a verdict
+     * that timed out or was deferred must never earn durable credit —
+     * the same rule lossy windows already follow.
+     */
+    bool autoCommitCache = true;
 };
 
 struct MonitorStats
@@ -115,6 +123,55 @@ class Monitor
      */
     CheckVerdict checkFull(const std::vector<uint8_t> &packets);
 
+    /**
+     * Phase-split API for the service layer: the fast path always
+     * runs inline at the endpoint (it is cheap and bounded), while a
+     * slow-path escalation becomes schedulable work that a
+     * CheckScheduler can queue, deadline and defer.
+     */
+    struct FastPhaseOutcome
+    {
+        /** Resolved verdict; meaningless when `needSlow`. */
+        CheckVerdict verdict = CheckVerdict::Pass;
+        /** True when the window needs a slow-path resolution. */
+        bool needSlow = false;
+        /** The window saw trace loss (propagates into slowPhase). */
+        bool loss = false;
+    };
+
+    FastPhaseOutcome fastPhase(const std::vector<uint8_t> &packets);
+
+    /**
+     * Resolves a window fastPhase escalated. `loss` must be the flag
+     * fastPhase returned for the same packets. Stages the verdict
+     * cache per the config; commits it only under autoCommitCache.
+     */
+    CheckVerdict slowPhase(const std::vector<uint8_t> &packets,
+                           bool loss);
+
+    /**
+     * Applies the staged verdict cache from the last slow-path pass
+     * (no-op when nothing is staged). The caller asserts the verdict
+     * arrived in time and undeferred; timed-out or deferred windows
+     * must call discardCache() instead.
+     */
+    void commitCache();
+
+    /** Drops the staged verdict cache without applying it. */
+    void discardCache();
+
+    /** True while a slow-path pass has uncommitted cache material. */
+    bool cachePending() const { return _cachePending; }
+
+    /**
+     * Overload batching hook: replaces the fast path's pkt_count so
+     * the service can widen windows under pressure (amortizing checks
+     * over more TIPs) and restore the configured value afterwards.
+     */
+    void setPktCount(size_t pkt_count);
+
+    size_t pktCount() const { return _config.fastPath.pktCount; }
+
     const MonitorStats &stats() const { return _stats; }
     const FastPathResult &lastFast() const { return _lastFast; }
     const SlowPathResult &lastSlow() const { return _lastSlow; }
@@ -144,6 +201,8 @@ class Monitor
   private:
     CheckVerdict finishCheck(FastPathResult fast,
                              const std::vector<uint8_t> &packets);
+    FastPhaseOutcome resolveFast(FastPathResult fast);
+    void stageCache(const std::vector<uint8_t> &packets);
 
     const isa::Program &_program;
     analysis::ItcCfg &_itc;
@@ -156,6 +215,10 @@ class Monitor
     FastPathResult _lastFast;
     SlowPathResult _lastSlow;
     VerdictSource _lastSource = VerdictSource::FastPath;
+
+    /** Staged (uncommitted) verdict-cache material. */
+    std::vector<decode::TipTransition> _cacheTransitions;
+    bool _cachePending = false;
 };
 
 } // namespace flowguard::runtime

@@ -1,0 +1,510 @@
+#include "runtime/service.hh"
+
+#include <algorithm>
+
+#include "cpu/cost_model.hh"
+#include "support/logging.hh"
+
+namespace flowguard::runtime {
+
+const char *
+quarantineActionName(QuarantineAction action)
+{
+    switch (action) {
+      case QuarantineAction::Suspend: return "suspend";
+      case QuarantineAction::Kill: return "kill";
+      case QuarantineAction::Audit: return "audit";
+    }
+    return "?";
+}
+
+ProtectionService::ProtectionService(ServiceConfig config)
+    : _config(config),
+      _scheduler(
+          config.scheduler,
+          [this](const CheckRequest &request) {
+              return execute(request);
+          },
+          [this](const CheckRequest &request, bool commit) {
+              cacheDecision(request, commit);
+          },
+          [this](const CheckRequest &request,
+                 const CheckExecution &exec, uint64_t age) {
+              deliver(request, exec, age);
+          }),
+      _rng(config.rngSeed)
+{}
+
+void
+ProtectionService::addProcess(uint64_t cr3, Monitor &monitor,
+                              trace::IptEncoder &encoder,
+                              trace::Topa &topa, cpu::Cpu &cpu,
+                              cpu::CycleAccount *account)
+{
+    ProcessRecord record;
+    record.cr3 = cr3;
+    record.monitor = &monitor;
+    record.encoder = &encoder;
+    record.topa = &topa;
+    record.cpu = &cpu;
+    record.account = account;
+    record.basePktCount = monitor.pktCount();
+    _processes[cr3] = std::move(record);
+}
+
+ProtectionService::AttachOutcome
+ProtectionService::attachAll()
+{
+    AttachOutcome outcome;
+    for (auto &entry : _processes) {
+        if (attachOne(entry.second))
+            ++outcome.attached;
+        else
+            ++outcome.failed;
+    }
+    return outcome;
+}
+
+bool
+ProtectionService::attachOne(ProcessRecord &proc)
+{
+    if (proc.attached)
+        return true;
+    const RetryConfig &retry = _config.retry;
+    for (uint32_t attempt = 0; attempt < retry.maxAttempts; ++attempt) {
+        ++proc.attachAttempts;
+        ++_stats.attachAttempts;
+        // Two fallible steps in order: the syscall-table
+        // interposition, then the RTIT enable.
+        const bool attach_fails = _faults && _faults->failAttach();
+        const bool start_fails =
+            !attach_fails && _faults && _faults->failTraceStart();
+        if (!attach_fails && !start_fails) {
+            proc.attached = true;
+            return true;
+        }
+        if (attempt + 1 < retry.maxAttempts) {
+            ++_stats.attachRetries;
+            // Exponential backoff, capped, plus seeded jitter so a
+            // fleet of retries never thunders in lockstep.
+            const uint64_t shift = std::min<uint32_t>(attempt, 32);
+            const uint64_t exponential =
+                std::min(retry.backoffCapCycles,
+                         retry.backoffBaseCycles << shift);
+            const uint64_t jitter = _rng.below(
+                std::max<uint64_t>(1, retry.backoffBaseCycles));
+            _stats.attachBackoffCycles += exponential + jitter;
+        }
+    }
+    ++_stats.attachFailures;
+    ViolationReport report;
+    report.kind = ViolationReport::Kind::AttachFailure;
+    report.cr3 = proc.cr3;
+    report.reason = "attach failed after " +
+        std::to_string(proc.attachAttempts) +
+        " attempts (control-plane fault)";
+    warn("FlowGuard service: cr3=", proc.cr3, " ", report.reason);
+    _reports.push_back(std::move(report));
+    return false;
+}
+
+bool
+ProtectionService::isProtected(uint64_t cr3) const
+{
+    auto it = _processes.find(cr3);
+    return it != _processes.end() && it->second.attached;
+}
+
+bool
+ProtectionService::quarantined(uint64_t cr3) const
+{
+    auto it = _processes.find(cr3);
+    return it != _processes.end() && it->second.quarantined;
+}
+
+uint64_t
+ProtectionService::virtualNow() const
+{
+    uint64_t insts = 0;
+    for (const auto &entry : _processes)
+        insts += entry.second.cpu->instCount();
+    return insts;
+}
+
+CheckExecution
+ProtectionService::execute(const CheckRequest &request)
+{
+    CheckExecution exec;
+    auto it = _processes.find(request.cr3);
+    if (it == _processes.end()) {
+        exec.verdict = CheckVerdict::Pass;
+        exec.reason = "process no longer registered";
+        return exec;
+    }
+    Monitor &monitor = *it->second.monitor;
+    exec.verdict = monitor.slowPhase(request.packets, request.loss);
+    const SlowPathResult &slow = monitor.lastSlow();
+    exec.violatingFrom = slow.violatingSource;
+    exec.violatingTo = slow.violatingTarget;
+    exec.reason = slow.reason;
+    exec.source = monitor.lastVerdictSource();
+    exec.costCycles = static_cast<uint64_t>(
+        static_cast<double>(slow.instructionsWalked) *
+            cpu::cost::sw_full_decode_per_inst +
+        static_cast<double>(slow.branchesChecked) *
+            (cpu::cost::sw_full_decode_per_branch +
+             cpu::cost::slow_check_per_branch));
+    if (_faults)
+        exec.costCycles += _faults->slowPathStallNow();
+    return exec;
+}
+
+void
+ProtectionService::cacheDecision(const CheckRequest &request,
+                                 bool commit)
+{
+    auto it = _processes.find(request.cr3);
+    if (it == _processes.end())
+        return;
+    if (commit)
+        it->second.monitor->commitCache();
+    else
+        it->second.monitor->discardCache();
+}
+
+void
+ProtectionService::deliver(const CheckRequest &request,
+                           const CheckExecution &exec, uint64_t age)
+{
+    auto it = _processes.find(request.cr3);
+    if (it == _processes.end())
+        return;
+    ProcessRecord &proc = it->second;
+    if (exec.verdict != CheckVerdict::Violation)
+        return;
+    ViolationReport report = violationReportFrom(proc, request.syscall,
+                                                 exec);
+    report.seq = request.seq;
+    report.reason +=
+        " [deferred " + std::to_string(age) + " cycles]";
+    if (request.audit) {
+        ++_stats.auditViolations;
+        report.reason += " [audit-class, enforcement waived]";
+        _reports.push_back(std::move(report));
+        return;
+    }
+    ++_stats.deferredKills;
+    proc.pendingKills.push_back(std::move(report));
+}
+
+bool
+ProtectionService::consumePendingKill(uint64_t cr3,
+                                      ViolationReport &out)
+{
+    auto it = _processes.find(cr3);
+    if (it == _processes.end() || it->second.pendingKills.empty())
+        return false;
+    out = std::move(it->second.pendingKills.front());
+    it->second.pendingKills.pop_front();
+    return true;
+}
+
+EndpointDecision
+ProtectionService::onEndpoint(cpu::Cpu &cpu, int64_t syscall)
+{
+    EndpointDecision decision;
+    const uint64_t cr3 = cpu.program().cr3();
+    auto it = _processes.find(cr3);
+    if (it == _processes.end() || !it->second.attached)
+        return decision;
+    ProcessRecord &proc = it->second;
+    const uint64_t now = virtualNow();
+
+    // Deliver any deferred verdicts the virtual clock has reached;
+    // one of them may be a kill for this very process.
+    _scheduler.pump(now);
+    ViolationReport pending;
+    if (consumePendingKill(cr3, pending)) {
+        decision.kill = true;
+        decision.report = std::move(pending);
+        return decision;
+    }
+
+    ++proc.seq;
+    ++_stats.endpointChecks;
+    if (proc.account)
+        proc.account->other += cpu::cost::intercept_per_syscall;
+
+    // Adaptive batching: backpressure widens the checked window so
+    // one check amortizes over more TIPs, and endpoint hits whose
+    // trace has not advanced enough coalesce into the next one.
+    // drain() ends the run with a full check per process, so
+    // coalescing delays detection but never loses it.
+    const size_t batch = _scheduler.batchFactor();
+    proc.monitor->setPktCount(proc.basePktCount * batch);
+    const uint64_t written = proc.topa->totalWritten();
+    if (batch > 1 &&
+        written - proc.lastCheckedWritten <
+            _config.coalesceBytesPerBatch * batch) {
+        ++_stats.coalesced;
+        return decision;
+    }
+
+    // An injected PMI storm lands as spurious buffer-full service
+    // work: audit-class requests that load the checking core.
+    if (_faults) {
+        for (uint32_t storm = _faults->pmiStormNow(); storm > 0;
+             --storm) {
+            CheckRequest spurious;
+            spurious.cr3 = cr3;
+            spurious.seq = proc.seq;
+            spurious.syscall = syscall;
+            spurious.audit = true;
+            spurious.packets = proc.topa->snapshot();
+            ++_stats.pmiStormChecks;
+            const auto outcome =
+                _scheduler.submit(std::move(spurious), now);
+            if (outcome.exec.ran &&
+                outcome.exec.verdict == CheckVerdict::Violation)
+                ++_stats.auditViolations;
+        }
+    }
+
+    proc.encoder->flushTnt();
+    std::vector<uint8_t> packets = proc.topa->snapshot();
+    proc.lastCheckedWritten = written;
+
+    // The fast phase always runs inline: it is cheap and bounded.
+    const Monitor::FastPhaseOutcome fast =
+        proc.monitor->fastPhase(packets);
+    if (!fast.needSlow) {
+        if (fast.verdict == CheckVerdict::Violation) {
+            decision.kill = true;
+            decision.report = reportFromMonitor(proc, syscall);
+            return decision;
+        }
+        ++_stats.inlineFastPass;
+        proc.consecutiveMisses = 0;
+        return decision;
+    }
+
+    // Escalation: schedulable slow-path work under the deadline.
+    ++_stats.escalations;
+    CheckRequest request;
+    request.cr3 = cr3;
+    request.seq = proc.seq;
+    request.syscall = syscall;
+    request.loss = fast.loss;
+    request.audit = proc.quarantined &&
+        _config.quarantineAction == QuarantineAction::Audit;
+    request.packets = std::move(packets);
+    const auto outcome = _scheduler.submit(std::move(request), now);
+    return resolve(proc, syscall, outcome);
+}
+
+EndpointDecision
+ProtectionService::resolve(ProcessRecord &proc, int64_t syscall,
+                           const CheckScheduler::SubmitOutcome &out)
+{
+    EndpointDecision decision;
+    const bool audit_class = proc.quarantined &&
+        _config.quarantineAction == QuarantineAction::Audit;
+    switch (out.resolution) {
+      case CheckResolution::InlinePass:
+        proc.consecutiveMisses = 0;
+        break;
+      case CheckResolution::InlineViolation: {
+        proc.consecutiveMisses = 0;
+        ViolationReport report =
+            violationReportFrom(proc, syscall, out.exec);
+        if (audit_class) {
+            ++_stats.auditViolations;
+            report.reason += " [audit-class, enforcement waived]";
+            _reports.push_back(std::move(report));
+        } else {
+            decision.kill = true;
+            decision.report = std::move(report);
+        }
+        break;
+      }
+      case CheckResolution::TimeoutConviction: {
+        decision.kill = true;
+        ViolationReport report;
+        report.kind = ViolationReport::Kind::CheckTimeout;
+        report.cr3 = proc.cr3;
+        report.seq = proc.seq;
+        report.syscall = syscall;
+        report.reason =
+            "check deadline exceeded (fail-closed overload policy)";
+        decision.report = std::move(report);
+        noteDeadlineMiss(proc, syscall, decision);
+        break;
+      }
+      case CheckResolution::AuditWaived:
+        if (out.exec.ran &&
+            out.exec.verdict == CheckVerdict::Violation) {
+            ++_stats.auditViolations;
+            ViolationReport report =
+                violationReportFrom(proc, syscall, out.exec);
+            report.reason +=
+                " [enforcement waived: audit-only overload policy]";
+            _reports.push_back(std::move(report));
+        }
+        noteDeadlineMiss(proc, syscall, decision);
+        break;
+      case CheckResolution::Deferred:
+        noteDeadlineMiss(proc, syscall, decision);
+        break;
+      case CheckResolution::Shed:
+        break;
+    }
+    return decision;
+}
+
+void
+ProtectionService::noteDeadlineMiss(ProcessRecord &proc,
+                                    int64_t syscall,
+                                    EndpointDecision &decision)
+{
+    ++proc.consecutiveMisses;
+    if (proc.quarantined ||
+        proc.consecutiveMisses < _config.breakerThreshold)
+        return;
+
+    // The breaker trips: this process's checks keep missing their
+    // deadlines and it must stop degrading everyone else.
+    ++_stats.quarantines;
+    proc.quarantined = true;
+    proc.consecutiveMisses = 0;
+    ViolationReport report;
+    report.kind = ViolationReport::Kind::Quarantined;
+    report.cr3 = proc.cr3;
+    report.seq = proc.seq;
+    report.syscall = syscall;
+    report.reason = "circuit breaker: " +
+        std::to_string(_config.breakerThreshold) +
+        " consecutive deadline misses (action: " +
+        quarantineActionName(_config.quarantineAction) + ")";
+    warn("FlowGuard service: cr3=", proc.cr3, " ", report.reason);
+    switch (_config.quarantineAction) {
+      case QuarantineAction::Suspend:
+        _scheduler.dropProcess(proc.cr3);
+        if (_machine)
+            _machine->setSuspended(proc.cr3, true);
+        _reports.push_back(std::move(report));
+        break;
+      case QuarantineAction::Kill:
+        _scheduler.dropProcess(proc.cr3);
+        if (decision.kill) {
+            // Already dying this endpoint; just log the trip.
+            _reports.push_back(std::move(report));
+        } else {
+            decision.kill = true;
+            decision.report = std::move(report);
+        }
+        break;
+      case QuarantineAction::Audit:
+        // Keeps running; its future checks are audit-class.
+        _reports.push_back(std::move(report));
+        break;
+    }
+}
+
+ViolationReport
+ProtectionService::violationReportFrom(const ProcessRecord &proc,
+                                       int64_t syscall,
+                                       const CheckExecution &exec)
+    const
+{
+    ViolationReport report;
+    report.kind =
+        exec.source == Monitor::VerdictSource::LossPolicy
+        ? ViolationReport::Kind::TraceLoss
+        : ViolationReport::Kind::CfiViolation;
+    report.cr3 = proc.cr3;
+    report.seq = proc.seq;
+    report.syscall = syscall;
+    report.from = exec.violatingFrom;
+    report.to = exec.violatingTo;
+    report.reason =
+        exec.reason.empty() ? "slow path violation" : exec.reason;
+    return report;
+}
+
+ViolationReport
+ProtectionService::reportFromMonitor(const ProcessRecord &proc,
+                                     int64_t syscall) const
+{
+    const Monitor &monitor = *proc.monitor;
+    ViolationReport report;
+    report.cr3 = proc.cr3;
+    report.seq = proc.seq;
+    report.syscall = syscall;
+    switch (monitor.lastVerdictSource()) {
+      case Monitor::VerdictSource::LossPolicy:
+        report.kind = ViolationReport::Kind::TraceLoss;
+        report.reason = "trace loss (fail-closed policy)";
+        break;
+      case Monitor::VerdictSource::FastPath:
+        report.from = monitor.lastFast().violatingFrom;
+        report.to = monitor.lastFast().violatingTo;
+        report.reason = "fast path: ITC-CFG edge mismatch";
+        break;
+      case Monitor::VerdictSource::SlowPath:
+        report.from = monitor.lastSlow().violatingSource;
+        report.to = monitor.lastSlow().violatingTarget;
+        report.reason = "slow path: " + monitor.lastSlow().reason;
+        break;
+    }
+    return report;
+}
+
+void
+ProtectionService::drain()
+{
+    if (_drained)
+        return;
+    _drained = true;
+    const uint64_t now = virtualNow();
+
+    // One final full-window check per attached process: anything a
+    // coalesced endpoint skipped is verified here.
+    for (auto &entry : _processes) {
+        ProcessRecord &proc = entry.second;
+        if (!proc.attached)
+            continue;
+        proc.monitor->setPktCount(proc.basePktCount);
+        proc.encoder->flushTnt();
+        const std::vector<uint8_t> packets = proc.topa->snapshot();
+        const Monitor::FastPhaseOutcome fast =
+            proc.monitor->fastPhase(packets);
+        CheckVerdict verdict = fast.verdict;
+        if (fast.needSlow)
+            verdict = proc.monitor->slowPhase(packets, fast.loss);
+        // End of run: credit earned here cannot be reused.
+        proc.monitor->discardCache();
+        if (verdict == CheckVerdict::Violation) {
+            ViolationReport report =
+                reportFromMonitor(proc, /*syscall=*/-1);
+            report.reason += " [post-mortem: drain]";
+            _reports.push_back(std::move(report));
+        }
+    }
+
+    _scheduler.drain(now);
+
+    // Kills queued for processes that never made another syscall
+    // are surfaced as post-mortem reports rather than lost.
+    for (auto &entry : _processes) {
+        ProcessRecord &proc = entry.second;
+        while (!proc.pendingKills.empty()) {
+            ViolationReport report =
+                std::move(proc.pendingKills.front());
+            proc.pendingKills.pop_front();
+            report.reason += " [post-mortem: process stopped first]";
+            _reports.push_back(std::move(report));
+        }
+    }
+}
+
+} // namespace flowguard::runtime

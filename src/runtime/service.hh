@@ -1,0 +1,253 @@
+/**
+ * @file
+ * ProtectionService — overload-resilient multi-process protection.
+ *
+ * The kernel module gives each protected process a checking engine;
+ * the service is the layer above that keeps the *fleet* healthy when
+ * the checking capacity is oversubscribed. It owns:
+ *
+ *  - the per-process protection registry (monitor + trace tap + CPU,
+ *    keyed by CR3) with per-process endpoint sequence numbers, so
+ *    every ViolationReport is attributable;
+ *  - a CheckScheduler: slow-path escalations become bounded,
+ *    deadlined work items resolved by the OverloadPolicy;
+ *  - adaptive batching: scheduler backpressure widens the fast path's
+ *    pkt_count windows and coalesces endpoint checks whose trace has
+ *    not advanced — every coalesced check is counted, and drain()
+ *    ends the run with one full check per process so detection is
+ *    guaranteed (possibly late), never silently skipped;
+ *  - a per-process circuit breaker: a process whose checks keep
+ *    missing deadlines stops degrading everyone else — it is
+ *    quarantined (suspended, killed, or demoted to audit-class
+ *    checking, per QuarantineAction);
+ *  - attach/trace-start with retry: control-plane faults injected by
+ *    a trace::FaultInjector are absorbed by seeded exponential
+ *    backoff with jitter; permanent failures surface as
+ *    AttachFailure reports instead of silently unprotected processes.
+ *
+ * Deferred verdicts and quarantine kills are delivered through the
+ * kernel at the target process's next syscall (consumePendingKill),
+ * mirroring how PMI-window violations land.
+ */
+
+#ifndef FLOWGUARD_RUNTIME_SERVICE_HH
+#define FLOWGUARD_RUNTIME_SERVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "runtime/kernel.hh"
+#include "runtime/monitor.hh"
+#include "runtime/scheduler.hh"
+#include "support/random.hh"
+#include "trace/faults.hh"
+#include "trace/ipt.hh"
+
+namespace flowguard::runtime {
+
+/** What the circuit breaker does with a process it trips on. */
+enum class QuarantineAction : uint8_t {
+    /** Park it: the machine stops scheduling it, its queued checks
+     *  are dropped (counted). State is preserved for triage. */
+    Suspend,
+    /** Kill it at its next syscall. */
+    Kill,
+    /** Keep it running but demote its checks to audit-class (first
+     *  to shed, never enforced) — it can no longer monopolize the
+     *  checking core. */
+    Audit,
+};
+
+const char *quarantineActionName(QuarantineAction action);
+
+/** Exponential backoff with jitter for attach / trace-start. */
+struct RetryConfig
+{
+    uint32_t maxAttempts = 6;
+    uint64_t backoffBaseCycles = 1'000;
+    uint64_t backoffCapCycles = 64'000;
+};
+
+struct ServiceConfig
+{
+    SchedulerConfig scheduler;
+    RetryConfig retry;
+    /** Consecutive deadline misses before the breaker trips. */
+    uint32_t breakerThreshold = 4;
+    QuarantineAction quarantineAction = QuarantineAction::Suspend;
+    /** Trace bytes per unit of batch factor below which a widened
+     *  window coalesces (skips) an endpoint check. */
+    uint64_t coalesceBytesPerBatch = 64;
+    /** Seed for the backoff-jitter Rng. */
+    uint64_t rngSeed = 0x5e41ce;
+};
+
+struct ServiceStats
+{
+    uint64_t endpointChecks = 0;    ///< endpoint hits routed here
+    uint64_t coalesced = 0;         ///< checks skipped by batching
+    uint64_t inlineFastPass = 0;    ///< resolved by fast phase alone
+    uint64_t escalations = 0;       ///< submitted to the scheduler
+    uint64_t deferredKills = 0;     ///< late verdicts turned SIGKILL
+    uint64_t auditViolations = 0;   ///< violations observed, waived
+    uint64_t quarantines = 0;       ///< breaker trips
+    uint64_t pmiStormChecks = 0;    ///< injected spurious checks
+    uint64_t attachAttempts = 0;    ///< attach tries incl. retries
+    uint64_t attachRetries = 0;     ///< failed tries that were retried
+    uint64_t attachFailures = 0;    ///< processes never protected
+    uint64_t attachBackoffCycles = 0;
+};
+
+/** What the kernel should do with the endpoint that just fired. */
+struct EndpointDecision
+{
+    bool kill = false;
+    ViolationReport report;
+};
+
+class ProtectionService
+{
+  public:
+    explicit ProtectionService(ServiceConfig config = {});
+
+    /** Quarantine-by-suspension needs the machine's scheduler. */
+    void setMachine(cpu::Machine &machine) { _machine = &machine; }
+
+    /** Control-plane fault source (attach failures, PMI storms,
+     *  slow-path stalls). Optional; absent means a clean plane. */
+    void setFaultInjector(trace::FaultInjector &faults)
+    {
+        _faults = &faults;
+    }
+
+    /**
+     * Registers one process. The monitor should run with
+     * autoCommitCache=false — the scheduler decides cache commits —
+     * but the service enforces nothing; it simply never calls
+     * commitCache() for timed-out or deferred windows.
+     */
+    void addProcess(uint64_t cr3, Monitor &monitor,
+                    trace::IptEncoder &encoder, trace::Topa &topa,
+                    cpu::Cpu &cpu,
+                    cpu::CycleAccount *account = nullptr);
+
+    struct AttachOutcome
+    {
+        uint32_t attached = 0;
+        uint32_t failed = 0;
+    };
+
+    /**
+     * Attaches every registered process: syscall interposition, then
+     * trace start, each retried under seeded exponential backoff with
+     * jitter when the fault injector fails them. A process that
+     * exhausts its attempts is left unprotected and an AttachFailure
+     * report is filed.
+     */
+    AttachOutcome attachAll();
+
+    /** True when the process is registered and attach succeeded. */
+    bool isProtected(uint64_t cr3) const;
+
+    /**
+     * The endpoint upcall: runs the fast phase inline, routes
+     * escalations through the scheduler, applies the overload policy
+     * and the circuit breaker. Called by the kernel with the
+     * issuing CPU on an endpoint syscall.
+     */
+    EndpointDecision onEndpoint(cpu::Cpu &cpu, int64_t syscall);
+
+    /**
+     * Pops one queued kill for `cr3` (deferred verdicts, quarantine
+     * kills). The kernel consumes these at every syscall of the
+     * target process.
+     */
+    bool consumePendingKill(uint64_t cr3, ViolationReport &out);
+
+    /**
+     * End of run: one full-window check per attached process (so
+     * coalesced endpoints are verified), then the scheduler drains.
+     * Verdicts that could no longer be enforced (their process
+     * already stopped) become post-mortem reports.
+     */
+    void drain();
+
+    bool quarantined(uint64_t cr3) const;
+
+    /** Control-plane reports: attach failures, quarantines, waived
+     *  or post-mortem violations. Kills are in kernel.violations(). */
+    const std::vector<ViolationReport> &reports() const
+    {
+        return _reports;
+    }
+
+    const ServiceStats &stats() const { return _stats; }
+    const SchedulerStats &schedulerStats() const
+    {
+        return _scheduler.stats();
+    }
+    const CheckScheduler &scheduler() const { return _scheduler; }
+
+    /** Sum of registered CPUs' retired instructions — the virtual
+     *  clock the scheduler's deadlines are measured on. */
+    uint64_t virtualNow() const;
+
+    /** Full no-silent-drop accounting, including live queue depth. */
+    bool accountingBalances() const
+    {
+        return _scheduler.accountingBalances();
+    }
+
+  private:
+    struct ProcessRecord
+    {
+        uint64_t cr3 = 0;
+        Monitor *monitor = nullptr;
+        trace::IptEncoder *encoder = nullptr;
+        trace::Topa *topa = nullptr;
+        cpu::Cpu *cpu = nullptr;
+        cpu::CycleAccount *account = nullptr;
+        size_t basePktCount = 0;
+        uint64_t seq = 0;
+        uint64_t lastCheckedWritten = 0;
+        uint32_t consecutiveMisses = 0;
+        uint32_t attachAttempts = 0;
+        bool attached = false;
+        bool quarantined = false;
+        std::deque<ViolationReport> pendingKills;
+    };
+
+    bool attachOne(ProcessRecord &proc);
+    CheckExecution execute(const CheckRequest &request);
+    void cacheDecision(const CheckRequest &request, bool commit);
+    void deliver(const CheckRequest &request,
+                 const CheckExecution &exec, uint64_t age);
+    /** Applies a submit outcome; returns a kill decision if any. */
+    EndpointDecision resolve(ProcessRecord &proc, int64_t syscall,
+                             const CheckScheduler::SubmitOutcome &out);
+    void noteDeadlineMiss(ProcessRecord &proc, int64_t syscall,
+                          EndpointDecision &decision);
+    ViolationReport violationReportFrom(const ProcessRecord &proc,
+                                        int64_t syscall,
+                                        const CheckExecution &exec)
+        const;
+    ViolationReport reportFromMonitor(const ProcessRecord &proc,
+                                      int64_t syscall) const;
+
+    ServiceConfig _config;
+    CheckScheduler _scheduler;
+    cpu::Machine *_machine = nullptr;
+    trace::FaultInjector *_faults = nullptr;
+    Rng _rng;
+    std::map<uint64_t, ProcessRecord> _processes;
+    std::vector<ViolationReport> _reports;
+    ServiceStats _stats;
+    bool _drained = false;
+};
+
+} // namespace flowguard::runtime
+
+#endif // FLOWGUARD_RUNTIME_SERVICE_HH

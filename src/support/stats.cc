@@ -1,5 +1,6 @@
 #include "support/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
@@ -59,6 +60,55 @@ geomean(const std::vector<double> &values)
     for (double v : values)
         acc.add(v);
     return acc.geomean();
+}
+
+void
+Distribution::add(double sample)
+{
+    _samples.push_back(sample);
+    _sorted = false;
+}
+
+void
+Distribution::sortIfNeeded() const
+{
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    fg_assert(!_samples.empty(), "mean of empty distribution");
+    double sum = 0.0;
+    for (double s : _samples)
+        sum += s;
+    return sum / static_cast<double>(_samples.size());
+}
+
+double
+Distribution::max() const
+{
+    fg_assert(!_samples.empty(), "max of empty distribution");
+    sortIfNeeded();
+    return _samples.back();
+}
+
+double
+Distribution::quantile(double q) const
+{
+    fg_assert(!_samples.empty(), "quantile of empty distribution");
+    fg_assert(q >= 0.0 && q <= 1.0, "quantile out of range");
+    sortIfNeeded();
+    if (_samples.size() == 1)
+        return _samples.front();
+    const double rank = q * static_cast<double>(_samples.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, _samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return _samples[lo] + frac * (_samples[hi] - _samples[lo]);
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> header)

@@ -44,6 +44,36 @@ class Accumulator
 double geomean(const std::vector<double> &values);
 
 /**
+ * Sample-retaining accumulator for latency-style metrics (deferral
+ * ages, backoff delays) where the tail matters more than the mean:
+ * exposes arbitrary quantiles alongside the usual scalars.
+ */
+class Distribution
+{
+  public:
+    void add(double sample);
+
+    uint64_t count() const { return _samples.size(); }
+    bool empty() const { return _samples.empty(); }
+    double mean() const;
+    double max() const;
+
+    /**
+     * Quantile by linear interpolation between order statistics;
+     * `q` in [0, 1]. Requires at least one sample.
+     */
+    double quantile(double q) const;
+
+    const std::vector<double> &samples() const { return _samples; }
+
+  private:
+    void sortIfNeeded() const;
+
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = true;
+};
+
+/**
  * Fixed-width console table: collects rows of strings and prints them
  * padded to per-column maxima, in the style of the paper's tables.
  */

@@ -15,6 +15,10 @@ faultModeName(FaultMode mode)
       case FaultMode::TruncateTail: return "truncate-tail";
       case FaultMode::DropRegion: return "drop-region";
       case FaultMode::DelayedPmi: return "delayed-pmi";
+      case FaultMode::AttachFail: return "attach-fail";
+      case FaultMode::TraceStartFail: return "trace-start-fail";
+      case FaultMode::PmiStorm: return "pmi-storm";
+      case FaultMode::StalledSlowPath: return "stalled-slow-path";
     }
     return "?";
 }
@@ -55,6 +59,11 @@ FaultInjector::apply(const FaultSpec &spec, std::vector<uint8_t> &buffer)
         return dropRegion(buffer, spec.regionBytes);
       case FaultMode::None:
       case FaultMode::DelayedPmi:
+      case FaultMode::AttachFail:
+      case FaultMode::TraceStartFail:
+      case FaultMode::PmiStorm:
+      case FaultMode::StalledSlowPath:
+        // Control-plane kinds have no buffer form.
         return 0;
     }
     return 0;
@@ -116,6 +125,32 @@ void
 FaultInjector::delayPmi(Topa &topa, size_t latency_bytes)
 {
     topa.setPmiServiceLatency(latency_bytes);
+}
+
+bool
+FaultInjector::failAttach()
+{
+    return _rng.chance(_plan.attachFailRate);
+}
+
+bool
+FaultInjector::failTraceStart()
+{
+    return _rng.chance(_plan.traceStartFailRate);
+}
+
+uint32_t
+FaultInjector::pmiStormNow()
+{
+    return _rng.chance(_plan.pmiStormChance) ? _plan.pmiStormBurst : 0;
+}
+
+uint64_t
+FaultInjector::slowPathStallNow()
+{
+    return _rng.chance(_plan.slowPathStallChance)
+        ? _plan.slowPathStallCycles
+        : 0;
 }
 
 } // namespace flowguard::trace

@@ -35,6 +35,14 @@ enum class FaultMode : uint8_t {
     TruncateTail,   ///< cut the buffer mid-packet
     DropRegion,     ///< excise a contiguous ToPA-region-sized chunk
     DelayedPmi,     ///< configure PMI service latency on a live Topa
+
+    // Control-plane faults: these do not mutate trace bytes, they
+    // fail the *service* operations around tracing. The protection
+    // service consults the injector at each operation.
+    AttachFail,         ///< syscall-table interposition fails
+    TraceStartFail,     ///< RTIT enable MSR write fails
+    PmiStorm,           ///< burst of spurious buffer-full PMIs
+    StalledSlowPath,    ///< a slow-path decode stalls for extra cycles
 };
 
 const char *faultModeName(FaultMode mode);
@@ -51,6 +59,27 @@ struct FaultSpec
     size_t pmiLatencyBytes = 512;
 
     std::string toString() const;
+};
+
+/**
+ * Rates and magnitudes for the control-plane fault kinds. All draws
+ * come from the injector's seeded Rng, so a service run under a given
+ * plan is exactly replayable.
+ */
+struct ControlFaultPlan
+{
+    /** Probability an attach attempt fails. */
+    double attachFailRate = 0.0;
+    /** Probability a trace-start attempt fails (post-attach). */
+    double traceStartFailRate = 0.0;
+    /** Probability a pump sees a PMI storm burst. */
+    double pmiStormChance = 0.0;
+    /** Spurious PMI-window checks per storm burst. */
+    uint32_t pmiStormBurst = 4;
+    /** Probability a slow-path check stalls. */
+    double slowPathStallChance = 0.0;
+    /** Extra cycles a stalled slow-path check costs. */
+    uint64_t slowPathStallCycles = 1'000'000;
 };
 
 class FaultInjector
@@ -89,10 +118,28 @@ class FaultInjector
     /** Configures `topa` to service its buffer-full PMI late. */
     void delayPmi(Topa &topa, size_t latency_bytes);
 
+    // --- control-plane faults ----------------------------------------------
+
+    void setControlPlan(const ControlFaultPlan &plan) { _plan = plan; }
+    const ControlFaultPlan &controlPlan() const { return _plan; }
+
+    /** Draws one attach attempt; true = the attempt fails. */
+    bool failAttach();
+
+    /** Draws one trace-start attempt; true = the attempt fails. */
+    bool failTraceStart();
+
+    /** Spurious PMI-window checks injected at this pump (0 = none). */
+    uint32_t pmiStormNow();
+
+    /** Extra cycles this slow-path check stalls for (0 = no stall). */
+    uint64_t slowPathStallNow();
+
     Rng &rng() { return _rng; }
 
   private:
     Rng _rng;
+    ControlFaultPlan _plan;
 };
 
 } // namespace flowguard::trace

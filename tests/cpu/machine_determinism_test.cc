@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Machine scheduling determinism: the round-robin schedule is a pure
+ * function of the process list, quantum, budget and per-process
+ * behavior, so identical inputs replay to identical Results. The
+ * overload experiments (bench_overload) rely on this — a deferral
+ * age or shed count measured once must be measurable again.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/basic_kernel.hh"
+#include "cpu/cpu.hh"
+#include "cpu/machine.hh"
+#include "workloads/apps.hh"
+
+namespace {
+
+using namespace flowguard;
+
+workloads::ServerSpec
+spec(uint64_t cr3, uint64_t seed)
+{
+    workloads::ServerSpec s;
+    s.name = "det";
+    s.numHandlers = 3;
+    s.numParserStates = 2;
+    s.numFillerFuncs = 10;
+    s.fillerTableSlots = 4;
+    s.workPerRequest = 25;
+    s.seed = seed;
+    s.cr3 = cr3;
+    return s;
+}
+
+/** Three processes with distinct images and inputs on one machine. */
+struct Rig
+{
+    std::vector<workloads::SyntheticApp> apps;
+    std::vector<std::unique_ptr<cpu::Cpu>> cpus;
+    std::vector<std::unique_ptr<cpu::BasicKernel>> kernels;
+    cpu::Machine machine;
+
+    Rig()
+    {
+        apps.reserve(3);
+        for (size_t i = 0; i < 3; ++i) {
+            apps.push_back(workloads::buildServerApp(
+                spec(0xD000 + i, /*seed=*/11 + i)));
+            cpus.push_back(
+                std::make_unique<cpu::Cpu>(apps[i].program));
+            kernels.push_back(std::make_unique<cpu::BasicKernel>());
+            kernels[i]->setInput(workloads::makeBenignStream(
+                8, /*seed=*/21 + i, 3, 2));
+            cpus[i]->setSyscallHandler(kernels[i].get());
+            machine.addProcess(*cpus[i]);
+        }
+        machine.setQuantum(1'500);
+    }
+};
+
+TEST(MachineDeterminism, IdenticalInputsReplayIdentically)
+{
+    Rig first;
+    Rig second;
+    auto a = first.machine.run(50'000'000);
+    auto b = second.machine.run(50'000'000);
+
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    EXPECT_EQ(a.allHalted, b.allHalted);
+    ASSERT_EQ(a.stops.size(), b.stops.size());
+    for (size_t i = 0; i < a.stops.size(); ++i)
+        EXPECT_EQ(a.stops[i], b.stops[i]);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(first.cpus[i]->instCount(),
+                  second.cpus[i]->instCount());
+        EXPECT_EQ(first.kernels[i]->totalSyscalls(),
+                  second.kernels[i]->totalSyscalls());
+    }
+    EXPECT_TRUE(a.allHalted);
+    EXPECT_GT(a.contextSwitches, 0u);
+}
+
+TEST(MachineDeterminism, TruncatedBudgetIsAPrefixOfTheFullRun)
+{
+    // Determinism also means a shorter budget observes a prefix of
+    // the same schedule, not a different one.
+    Rig full;
+    Rig truncated;
+    auto a = full.machine.run(50'000'000);
+    auto b = truncated.machine.run(a.instructions / 2);
+
+    EXPECT_LE(b.instructions, a.instructions);
+    EXPECT_FALSE(b.allHalted);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_LE(truncated.kernels[i]->totalSyscalls(),
+                  full.kernels[i]->totalSyscalls());
+}
+
+TEST(MachineDeterminism, AllSuspendedTerminatesInsteadOfSpinning)
+{
+    Rig rig;
+    for (size_t i = 0; i < 3; ++i)
+        rig.machine.setSuspended(0xD000 + i, true);
+    auto result = rig.machine.run(50'000'000);
+    EXPECT_EQ(result.instructions, 0u);
+    EXPECT_FALSE(result.allHalted);
+}
+
+TEST(MachineDeterminism, SuspendedProcessIsSkippedOthersFinish)
+{
+    Rig rig;
+    rig.machine.setSuspended(0xD001, true);
+    EXPECT_TRUE(rig.machine.suspended(0xD001));
+    auto result = rig.machine.run(50'000'000);
+
+    EXPECT_EQ(rig.cpus[1]->instCount(), 0u);
+    EXPECT_GT(rig.cpus[0]->instCount(), 0u);
+    EXPECT_GT(rig.cpus[2]->instCount(), 0u);
+    EXPECT_EQ(rig.cpus[0]->state(), cpu::Cpu::Stop::Halted);
+    EXPECT_EQ(rig.cpus[2]->state(), cpu::Cpu::Stop::Halted);
+    EXPECT_EQ(rig.kernels[1]->totalSyscalls(), 0u);
+    EXPECT_FALSE(result.allHalted);
+}
+
+} // namespace

@@ -132,10 +132,10 @@ TEST(Kernel, DisabledProtectionForwardsEverything)
     trace::IptEncoder encoder(ipt_config, topa);
 
     FlowGuardKernel::Config kconfig;
-    kconfig.protectedCr3 = app.program.cr3();
+    kconfig.protectedCr3s = {app.program.cr3()};
     kconfig.enabled = false;
     FlowGuardKernel kernel(kconfig);
-    kernel.attachMonitor(monitor, encoder, topa);
+    kernel.attachProcess(app.program.cr3(), monitor, encoder, topa);
     kernel.setInput(workloads::makeBenignStream(
         3, 3, spec.numHandlers, spec.numParserStates));
 
