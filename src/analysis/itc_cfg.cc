@@ -240,6 +240,204 @@ ItcCfg::findEdge(uint64_t from, uint64_t to) const
 }
 
 void
+ItcCfg::setRuntimeCredit(int64_t edge)
+{
+    if (_runtimeCredit.size() != _targets.size())
+        _runtimeCredit.resize(_targets.size(), 0);
+    _runtimeCredit[static_cast<size_t>(edge)] = 1;
+}
+
+size_t
+ItcCfg::edgeFromNode(size_t edge) const
+{
+    if (!_edgeFrom.empty())
+        return _edgeFrom[edge];
+    // No liveness index yet: binary search the CSR offsets.
+    auto it = std::upper_bound(_offsets.begin(), _offsets.end(),
+                               static_cast<uint32_t>(edge));
+    return static_cast<size_t>(it - _offsets.begin()) - 1;
+}
+
+size_t
+ItcCfg::revokeRuntimeCreditsInRange(uint64_t begin, uint64_t end)
+{
+    size_t dropped = 0;
+    for (size_t e = 0; e < _runtimeCredit.size(); ++e) {
+        if (!_runtimeCredit[e])
+            continue;
+        const uint64_t from = _nodeAddrs[edgeFromNode(e)];
+        const uint64_t to = _targets[e];
+        const bool touches = (from >= begin && from < end) ||
+                             (to >= begin && to < end);
+        if (touches) {
+            _runtimeCredit[e] = 0;
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+void
+ItcCfg::enableLiveness()
+{
+    _livenessEnabled = true;
+    _liveNode.assign(numNodes(), 1);
+    if (_runtimeCredit.size() != _targets.size())
+        _runtimeCredit.resize(_targets.size(), 0);
+    buildLivenessIndex();
+}
+
+void
+ItcCfg::buildLivenessIndex()
+{
+    const size_t n = numNodes();
+    const size_t m = _targets.size();
+    _edgeFrom.assign(m, 0);
+    _targetNode.assign(m, 0);
+    for (size_t i = 0; i < n; ++i)
+        for (uint32_t e = _offsets[i]; e < _offsets[i + 1]; ++e)
+            _edgeFrom[e] = static_cast<uint32_t>(i);
+    std::vector<uint32_t> in_degree(n, 0);
+    for (size_t e = 0; e < m; ++e) {
+        const int node = findNode(_targets[e]);
+        fg_assert(node >= 0, "ITC edge target is not a node");
+        _targetNode[e] = static_cast<uint32_t>(node);
+        ++in_degree[static_cast<size_t>(node)];
+    }
+    _inOffsets.assign(n + 1, 0);
+    for (size_t i = 0; i < n; ++i)
+        _inOffsets[i + 1] = _inOffsets[i] + in_degree[i];
+    _inEdgeIds.assign(m, 0);
+    std::vector<uint32_t> cursor(_inOffsets.begin(),
+                                 _inOffsets.end() - 1);
+    for (size_t e = 0; e < m; ++e)
+        _inEdgeIds[cursor[_targetNode[e]]++] =
+            static_cast<uint32_t>(e);
+}
+
+ItcCfg::RangeUpdate
+ItcCfg::setRangeLive(uint64_t begin, uint64_t end, bool live)
+{
+    fg_assert(_livenessEnabled, "call enableLiveness() first");
+    RangeUpdate update;
+    const size_t lo = static_cast<size_t>(
+        std::lower_bound(_nodeAddrs.begin(), _nodeAddrs.end(), begin) -
+        _nodeAddrs.begin());
+    const size_t hi = static_cast<size_t>(
+        std::lower_bound(_nodeAddrs.begin(), _nodeAddrs.end(), end) -
+        _nodeAddrs.begin());
+    for (size_t i = lo; i < hi; ++i) {
+        _liveNode[i] = live ? 1 : 0;
+        ++update.nodes;
+        update.outEdges += outDegree(i);
+        // Cross-range in-edges are the PLT-style stitched edges: they
+        // come back (or go away) with the module without touching the
+        // rest of the graph.
+        for (uint32_t k = _inOffsets[i]; k < _inOffsets[i + 1]; ++k) {
+            const uint32_t from = _edgeFrom[_inEdgeIds[k]];
+            if (from < lo || from >= hi)
+                ++update.inEdges;
+        }
+    }
+    return update;
+}
+
+ItcCfg::RangeUpdate
+ItcCfg::activateRange(uint64_t begin, uint64_t end)
+{
+    return setRangeLive(begin, end, true);
+}
+
+ItcCfg::RangeUpdate
+ItcCfg::deactivateRange(uint64_t begin, uint64_t end)
+{
+    return setRangeLive(begin, end, false);
+}
+
+bool
+ItcCfg::edgeLive(int64_t edge) const
+{
+    if (!_livenessEnabled)
+        return true;
+    const auto e = static_cast<size_t>(edge);
+    return _liveNode[_edgeFrom[e]] != 0 &&
+           _liveNode[_targetNode[e]] != 0;
+}
+
+void
+ItcCfg::applyRebase(uint64_t begin, uint64_t end, int64_t delta)
+{
+    const size_t n = numNodes();
+    const size_t m = _targets.size();
+    auto shift = [&](uint64_t addr) {
+        return addr >= begin && addr < end
+            ? addr + static_cast<uint64_t>(delta)
+            : addr;
+    };
+
+    std::vector<uint64_t> new_addr(n);
+    for (size_t i = 0; i < n; ++i)
+        new_addr[i] = shift(_nodeAddrs[i]);
+    std::vector<uint32_t> order(n);     // new position -> old node
+    for (size_t i = 0; i < n; ++i)
+        order[i] = static_cast<uint32_t>(i);
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) {
+                  return new_addr[a] < new_addr[b];
+              });
+
+    std::vector<uint64_t> addrs(n);
+    std::vector<uint32_t> offsets(n + 1, 0);
+    std::vector<uint64_t> targets;
+    targets.reserve(m);
+    std::vector<uint32_t> edge_src;     // new edge id -> old edge id
+    edge_src.reserve(m);
+    std::vector<std::pair<uint64_t, uint32_t>> row;
+    for (size_t ni = 0; ni < n; ++ni) {
+        const uint32_t oi = order[ni];
+        addrs[ni] = new_addr[oi];
+        fg_assert(ni == 0 || addrs[ni - 1] < addrs[ni],
+                  "rebase collides node addresses");
+        row.clear();
+        for (uint32_t e = _offsets[oi]; e < _offsets[oi + 1]; ++e)
+            row.emplace_back(shift(_targets[e]), e);
+        std::sort(row.begin(), row.end());
+        offsets[ni + 1] =
+            offsets[ni] + static_cast<uint32_t>(row.size());
+        for (const auto &[addr, old_e] : row) {
+            targets.push_back(addr);
+            edge_src.push_back(old_e);
+        }
+    }
+
+    auto permuteEdges = [&](auto &vec) {
+        using Vec = std::decay_t<decltype(vec)>;
+        if (vec.empty())
+            return;
+        Vec out(m);
+        for (size_t e = 0; e < m; ++e)
+            out[e] = std::move(vec[edge_src[e]]);
+        vec = std::move(out);
+    };
+    permuteEdges(_credits);
+    permuteEdges(_tntVaried);
+    permuteEdges(_tntSeqs);
+    permuteEdges(_runtimeCredit);
+
+    _nodeAddrs = std::move(addrs);
+    _offsets = std::move(offsets);
+    _targets = std::move(targets);
+
+    if (_livenessEnabled) {
+        std::vector<uint8_t> live(n);
+        for (size_t ni = 0; ni < n; ++ni)
+            live[ni] = _liveNode[order[ni]];
+        _liveNode = std::move(live);
+        buildLivenessIndex();
+    }
+}
+
+void
 ItcCfg::addTntSequence(int64_t edge, const TntSequence &seq)
 {
     auto &seqs = _tntSeqs[static_cast<size_t>(edge)];
@@ -285,8 +483,8 @@ size_t
 ItcCfg::highCreditCount() const
 {
     size_t count = 0;
-    for (uint8_t credit : _credits)
-        count += credit;
+    for (size_t e = 0; e < _credits.size(); ++e)
+        count += highCredit(static_cast<int64_t>(e)) ? 1 : 0;
     return count;
 }
 

@@ -65,14 +65,77 @@ class ItcCfg
     int64_t findEdge(uint64_t from, uint64_t to) const;
 
     // --- training annotations ---------------------------------------------
+    /** Trained OR runtime (verdict-cache) credit. */
     bool highCredit(int64_t edge) const
     {
-        return _credits[static_cast<size_t>(edge)] != 0;
+        const auto e = static_cast<size_t>(edge);
+        return _credits[e] != 0 ||
+               (!_runtimeCredit.empty() && _runtimeCredit[e] != 0);
     }
     void setHighCredit(int64_t edge)
     {
         _credits[static_cast<size_t>(edge)] = 1;
     }
+
+    // --- runtime (verdict-cache) credit -------------------------------------
+    /**
+     * Credit earned online by a committed slow-path verdict. Kept in
+     * a separate bitmap from trained credit so unload/rebase can
+     * revoke it for an address range without losing training data —
+     * trained credits ride a retracted module and revive on reload.
+     */
+    void setRuntimeCredit(int64_t edge);
+    bool runtimeCredit(int64_t edge) const
+    {
+        const auto e = static_cast<size_t>(edge);
+        return e < _runtimeCredit.size() && _runtimeCredit[e] != 0;
+    }
+    /** Drops runtime credit on edges with an endpoint in [begin,end);
+     *  returns how many credits were revoked. */
+    size_t revokeRuntimeCreditsInRange(uint64_t begin, uint64_t end);
+
+    // --- liveness (dynamic code) --------------------------------------------
+    /** Cost accounting for one incremental range operation. */
+    struct RangeUpdate
+    {
+        size_t nodes = 0;       ///< nodes inside the range
+        size_t outEdges = 0;    ///< edges leaving those nodes
+        size_t inEdges = 0;     ///< cross-range (stitched) in-edges
+        size_t
+        touched() const
+        {
+            return nodes + outEdges + inEdges;
+        }
+    };
+
+    /**
+     * Switches on per-node liveness (module load/unload tracking):
+     * builds the edge->endpoint maps plus the in-edge transpose the
+     * range operations walk, and (re)marks every node live. Runtime
+     * credit is preserved across calls — it is revoked by explicit
+     * range events, not by re-attaching a guard.
+     */
+    void enableLiveness();
+    bool livenessEnabled() const { return _livenessEnabled; }
+
+    /** Merges the sub-graph for [begin,end) back in (module load). */
+    RangeUpdate activateRange(uint64_t begin, uint64_t end);
+    /** Retracts the sub-graph for [begin,end) (module unload). */
+    RangeUpdate deactivateRange(uint64_t begin, uint64_t end);
+
+    bool nodeLive(size_t node) const
+    {
+        return !_livenessEnabled || _liveNode[node] != 0;
+    }
+    /** False iff liveness is on and either endpoint is retracted. */
+    bool edgeLive(int64_t edge) const;
+
+    /**
+     * Moves node addresses in [begin,end) by `delta` (Rebase event),
+     * re-sorting the CSR and permuting every per-edge and per-node
+     * annotation. O(E log E) — far below whole-program re-analysis.
+     */
+    void applyRebase(uint64_t begin, uint64_t end, int64_t delta);
 
     /**
      * Records a TNT sequence observed for `edge` during training.
@@ -128,12 +191,25 @@ class ItcCfg
     static constexpr size_t max_tnt_variants = 8;
 
   private:
+    RangeUpdate setRangeLive(uint64_t begin, uint64_t end, bool live);
+    void buildLivenessIndex();
+    size_t edgeFromNode(size_t edge) const;
+
     std::vector<uint64_t> _nodeAddrs;     ///< sorted
     std::vector<uint32_t> _offsets;       ///< CSR, size numNodes()+1
     std::vector<uint64_t> _targets;       ///< sorted per node
     std::vector<uint8_t> _credits;        ///< per edge, 0 = low
     std::vector<uint8_t> _tntVaried;      ///< per edge
     std::vector<std::vector<TntSequence>> _tntSeqs;  ///< per edge
+
+    // Dynamic-code state (empty until used).
+    std::vector<uint8_t> _runtimeCredit;  ///< per edge, lazily sized
+    bool _livenessEnabled = false;
+    std::vector<uint8_t> _liveNode;       ///< per node
+    std::vector<uint32_t> _edgeFrom;      ///< per edge: source node
+    std::vector<uint32_t> _targetNode;    ///< per edge: target node
+    std::vector<uint32_t> _inOffsets;     ///< transpose CSR
+    std::vector<uint32_t> _inEdgeIds;     ///< transpose CSR payload
 };
 
 } // namespace flowguard::analysis

@@ -154,6 +154,15 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
         kernel.attachPmi(*pmi);
     }
 
+    std::unique_ptr<dynamic::DynamicGuard> dyn;
+    if (_config.dynamicTracking || !_config.dynamicModules.empty()) {
+        dyn = std::make_unique<dynamic::DynamicGuard>(
+            _program, *_itc, _config.jitPolicy);
+        dyn->startUnloaded(_config.dynamicModules);
+        monitor.attachDynamic(*dyn);
+        kernel.addCodeEventSink(dyn.get());
+    }
+
     outcome.stop = cpu.run(max_insts);
     outcome.exitCode = cpu.exitCode();
     outcome.attackDetected = kernel.kills() > 0;
@@ -180,6 +189,10 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
     outcome.trace = encoder.stats();
     outcome.overflowEpisodes = topa.overflowEpisodes();
     outcome.droppedTraceBytes = topa.droppedBytes();
+    if (dyn)
+        outcome.dynamicStats = dyn->stats();
+    outcome.verdicts = monitor.verdictLog();
+    outcome.auditReports = kernel.auditReports();
     outcome.cycles.app = static_cast<double>(cpu.instCount()) *
                          cpu::cost::app_cpi;
     return outcome;
@@ -209,9 +222,27 @@ FlowGuard::makeProcessHarness(const isa::Program &program)
         _config.cacheSlowPathVerdicts;
     monitor_config.lossPolicy = _config.lossPolicy;
     monitor_config.autoCommitCache = false;
+    // With dynamic tracking on, the harness checks against a private
+    // copy of the trained graph: load/unload events flip liveness and
+    // runtime credit, and that state is per-process — sharing it
+    // would let one process's dlclose convict a peer whose copy of
+    // the module is still live.
+    analysis::ItcCfg *graph = _itc.get();
+    const bool dynamic_on =
+        _config.dynamicTracking || !_config.dynamicModules.empty();
+    if (dynamic_on) {
+        harness->itc = std::make_unique<analysis::ItcCfg>(*_itc);
+        graph = harness->itc.get();
+    }
     harness->monitor = std::make_unique<runtime::Monitor>(
-        program, *_itc, *_ocfg, *_typearmor, monitor_config,
+        program, *graph, *_ocfg, *_typearmor, monitor_config,
         &harness->cycles, _paths.get());
+    if (dynamic_on) {
+        harness->dyn = std::make_unique<dynamic::DynamicGuard>(
+            program, *harness->itc, _config.jitPolicy);
+        harness->dyn->startUnloaded(_config.dynamicModules);
+        harness->monitor->attachDynamic(*harness->dyn);
+    }
     return harness;
 }
 

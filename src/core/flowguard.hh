@@ -34,6 +34,7 @@
 #include "analysis/path_index.hh"
 #include "analysis/cfg_builder.hh"
 #include "analysis/itc_cfg.hh"
+#include "dynamic/dynamic_guard.hh"
 #include "fuzz/fuzzer.hh"
 #include "isa/program.hh"
 #include "runtime/kernel.hh"
@@ -74,6 +75,19 @@ struct FlowGuardConfig
     uint64_t fuzzSeed = 1;
     /** Instruction budget for each fuzz execution. */
     uint64_t fuzzRunMaxInsts = 2'000'000;
+
+    // --- dynamic code (src/dynamic) ---------------------------------------
+    /** Policy for transitions through JIT-mapped code. */
+    dynamic::JitPolicy jitPolicy = dynamic::JitPolicy::Allowlist;
+    /**
+     * Module indices that start unloaded and come and go at runtime
+     * through the dlopen/dlclose syscalls. Non-empty implies dynamic
+     * tracking.
+     */
+    std::vector<uint32_t> dynamicModules;
+    /** Enable the dynamic-code subsystem even with no initially
+     *  unloaded modules (JIT-only workloads). */
+    bool dynamicTracking = false;
 };
 
 class FlowGuard
@@ -138,6 +152,13 @@ class FlowGuard
         /** ToPA loss accounting (nonzero only with PMI latency). */
         uint64_t overflowEpisodes = 0;
         uint64_t droppedTraceBytes = 0;
+        /** Dynamic-code accounting (all-zero without tracking). */
+        dynamic::DynamicStats dynamicStats;
+        /** One CheckVerdict byte per finally-resolved check — the
+         *  layout-independent stream the ASLR property compares. */
+        std::vector<uint8_t> verdicts;
+        /** Kind::UnknownCode observations under AuditOnly. */
+        std::vector<runtime::ViolationReport> auditReports;
     };
 
     /** Runs the protected process on `input`. Requires analyze(). */
@@ -155,7 +176,16 @@ class FlowGuard
         std::unique_ptr<cpu::Cpu> cpu;
         std::unique_ptr<trace::Topa> topa;
         std::unique_ptr<trace::IptEncoder> encoder;
+        /** Private ITC-CFG copy (null unless dynamic tracking is on).
+         *  Liveness and runtime credit are per-process state: one
+         *  process's dlclose must not retract edges under its peers,
+         *  so each harness mutates its own copy of the trained
+         *  graph. */
+        std::unique_ptr<analysis::ItcCfg> itc;
         std::unique_ptr<runtime::Monitor> monitor;
+        /** Dynamic-code guard (null unless the config enables it).
+         *  The caller's kernel must addCodeEventSink(dyn.get()). */
+        std::unique_ptr<dynamic::DynamicGuard> dyn;
         cpu::CycleAccount cycles;
     };
 

@@ -6,10 +6,25 @@
  * static CFG generation and dynamic training are securely conducted"
  * — i.e., the trained artifact ships with the program and the
  * deployment machine only loads it. A profile stores the training
- * annotations (edge credits, TNT sequences, path hashes) keyed by a
- * fingerprint of the program and of the deterministically
- * reconstructed ITC-CFG; loading re-runs the cheap static pipeline
+ * annotations (edge credits, TNT sequences, path hashes) keyed by
+ * fingerprints of the code; loading re-runs the cheap static pipeline
  * and replays the annotations, refusing mismatched binaries.
+ *
+ * Two on-disk formats:
+ *  - v2 (legacy): one whole-program section keyed by a global
+ *    program fingerprint and the exact ITC-CFG shape. Any module
+ *    changing invalidates the entire profile.
+ *  - v3: per-module sections. Each module's training data is keyed
+ *    by its relocation-invariant fingerprint and its edges are
+ *    stored module-relative, so one updated library only skips its
+ *    own section (and the cross-module edges touching it) while the
+ *    rest of the profile still applies — and the profile is valid
+ *    under any ASLR layout.
+ *
+ * Loading is recoverable: tryLoadProfile() reports what happened in
+ * a ProfileLoadResult instead of aborting, so a deployment can fall
+ * back to retraining. loadProfile() keeps the historical fatal
+ * behavior on top of it.
  */
 
 #ifndef FLOWGUARD_CORE_PROFILE_IO_HH
@@ -26,14 +41,57 @@ namespace flowguard {
 /** Stable hash over the program's code (addresses + operands). */
 uint64_t programFingerprint(const isa::Program &program);
 
-/** Writes the guard's training state. Requires analyze(). */
+/** What a profile load did — recoverable, never fatal. */
+struct ProfileLoadResult
+{
+    enum class Status : uint8_t {
+        Ok,
+        IoError,                ///< stream unreadable / file missing
+        BadMagic,               ///< not a FlowGuard profile
+        BadVersion,             ///< version this build cannot read
+        FingerprintMismatch,    ///< v2: different program
+        ShapeMismatch,          ///< v2: ITC-CFG shape differs
+        Truncated,              ///< stream ended mid-record
+        ModuleMismatch,         ///< v3: no module section applied
+    };
+
+    Status status = Status::Ok;
+    /** Human-readable detail for non-Ok statuses. */
+    std::string message;
+    /** Format version encountered (0 when unreadable). */
+    uint32_t version = 0;
+    size_t modulesLoaded = 0;   ///< v3 sections applied
+    size_t modulesSkipped = 0;  ///< v3 sections refused (fingerprint)
+    size_t edgesApplied = 0;    ///< annotations replayed onto edges
+    size_t edgesMissed = 0;     ///< annotations with no current edge
+
+    bool ok() const { return status == Status::Ok; }
+};
+
+const char *profileStatusName(ProfileLoadResult::Status status);
+
+/** Writes the guard's training state (v3 format). Requires
+ *  analyze(). */
 void saveProfile(const FlowGuard &guard, std::ostream &out);
 void saveProfile(const FlowGuard &guard, const std::string &path);
 
+/** Legacy whole-program writer (v2), kept so old tooling and the
+ *  version-compatibility tests have a producer. */
+void saveProfileV2(const FlowGuard &guard, std::ostream &out);
+void saveProfileV2(const FlowGuard &guard, const std::string &path);
+
 /**
- * Loads training state into `guard` (analyze() is run if needed).
- * Fatal if the profile belongs to a different program or if the
- * reconstructed ITC-CFG shape differs.
+ * Loads training state into `guard` (analyze() is run if needed),
+ * accepting both v2 and v3 profiles. Never aborts: every failure
+ * mode comes back as a ProfileLoadResult.
+ */
+ProfileLoadResult tryLoadProfile(FlowGuard &guard, std::istream &in);
+ProfileLoadResult tryLoadProfile(FlowGuard &guard,
+                                 const std::string &path);
+
+/**
+ * Historical strict API: tryLoadProfile, but any non-Ok outcome is
+ * fatal.
  */
 void loadProfile(FlowGuard &guard, std::istream &in);
 void loadProfile(FlowGuard &guard, const std::string &path);

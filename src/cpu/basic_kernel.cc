@@ -29,10 +29,26 @@ BasicKernel::reset()
     _inputPos = 0;
     _output.clear();
     _mmapCursor = isa::layout::mmap_base;
+    _jitCursor = isa::layout::jit_base;
     _timeNow = 1'700'000'000;
     _sigHandlers.clear();
     _counts.clear();
     _totalSyscalls = 0;
+    _codeEventSeq = 0;
+}
+
+void
+BasicKernel::addCodeEventSink(CodeEventSink *sink)
+{
+    _codeSinks.push_back(sink);
+}
+
+void
+BasicKernel::publishCodeEvent(CodeEvent event)
+{
+    event.seq = _codeEventSeq++;
+    for (auto *sink : _codeSinks)
+        sink->onCodeEvent(event);
 }
 
 SyscallResult
@@ -128,6 +144,63 @@ BasicKernel::dispatch(Cpu &cpu, int64_t number)
         cpu.setPc(new_pc);
         result.action = SyscallResult::Action::PcSet;
         return result;
+      }
+
+      case Syscall::DlOpen:
+      case Syscall::DlClose: {
+        // (moduleIndex=r0) -> index on success, -1 on a bad handle.
+        // The simulated loader re-maps / unmaps a known SharedLib
+        // module; its link-time range is the affected window.
+        const auto &mods = cpu.program().modules();
+        const uint64_t idx = cpu.reg(0);
+        if (idx >= mods.size() ||
+            mods[idx].kind != isa::ModuleKind::SharedLib) {
+            result.retval = -1;
+            break;
+        }
+        CodeEvent event;
+        event.kind = static_cast<Syscall>(number) == Syscall::DlOpen
+            ? CodeEventKind::ModuleLoad
+            : CodeEventKind::ModuleUnload;
+        event.cr3 = cpu.program().cr3();
+        event.moduleIndex = static_cast<int32_t>(idx);
+        event.base = mods[idx].codeBase;
+        event.end = mods[idx].codeEnd;
+        publishCodeEvent(event);
+        result.retval = static_cast<int64_t>(idx);
+        break;
+      }
+
+      case Syscall::JitMap: {
+        // (len=r0) -> address of a fresh executable region.
+        const uint64_t len = std::max<uint64_t>(cpu.reg(0), 1);
+        const uint64_t size =
+            (len + isa::layout::page - 1) & ~(isa::layout::page - 1);
+        const uint64_t addr = _jitCursor;
+        _jitCursor += size;
+        CodeEvent event;
+        event.kind = CodeEventKind::JitRegionMap;
+        event.cr3 = cpu.program().cr3();
+        event.base = addr;
+        event.end = addr + size;
+        publishCodeEvent(event);
+        result.retval = static_cast<int64_t>(addr);
+        break;
+      }
+
+      case Syscall::JitUnmap: {
+        // (addr=r0, len=r1)
+        const uint64_t addr = cpu.reg(0);
+        const uint64_t len = std::max<uint64_t>(cpu.reg(1), 1);
+        CodeEvent event;
+        event.kind = CodeEventKind::JitRegionUnmap;
+        event.cr3 = cpu.program().cr3();
+        event.base = addr;
+        event.end = addr +
+            ((len + isa::layout::page - 1) & ~(isa::layout::page - 1));
+        publishCodeEvent(event);
+        result.retval = 0;
+        break;
       }
 
       case Syscall::Gettimeofday:

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cpu/cpu.hh"
+#include "cpu/events.hh"
 #include "isa/loader.hh"
 #include "isa/syscalls.hh"
 
@@ -32,6 +33,14 @@ class BasicKernel : public SyscallHandler
 
     /** Bytes the next read()/recv() calls will consume. */
     void setInput(std::vector<uint8_t> input);
+
+    /**
+     * Subscribes `sink` to code-map mutations (dlopen/dlclose and
+     * JIT map/unmap). Events are published from inside dispatch(),
+     * before the syscall returns to the process — the same ordering
+     * a loader shim gives the real FlowGuard kernel module.
+     */
+    void addCodeEventSink(CodeEventSink *sink);
 
     /** Everything the process wrote via write()/send(). */
     const std::vector<uint8_t> &output() const { return _output; }
@@ -58,14 +67,19 @@ class BasicKernel : public SyscallHandler
     SyscallResult dispatch(Cpu &cpu, int64_t number);
 
   private:
+    void publishCodeEvent(CodeEvent event);
+
     std::vector<uint8_t> _input;
     size_t _inputPos = 0;
     std::vector<uint8_t> _output;
     uint64_t _mmapCursor = isa::layout::mmap_base;
+    uint64_t _jitCursor = isa::layout::jit_base;
     uint64_t _timeNow = 1'700'000'000;
     std::vector<std::pair<int64_t, uint64_t>> _sigHandlers;
     std::vector<uint64_t> _counts;
     uint64_t _totalSyscalls = 0;
+    std::vector<CodeEventSink *> _codeSinks;
+    uint64_t _codeEventSeq = 0;
 };
 
 } // namespace flowguard::cpu

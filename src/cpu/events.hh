@@ -44,6 +44,40 @@ class TraceSink
     virtual void onBranch(const BranchEvent &event) = 0;
 };
 
+/**
+ * Address-space lifecycle events. The loader hooks (dlopen/dlclose)
+ * and JIT mmap/munmap paths of the simulated kernel publish one event
+ * per mutation, delivered to subscribers the same way PMIs are — the
+ * checker's view of the code map is event-driven, never polled.
+ */
+enum class CodeEventKind : uint8_t {
+    ModuleLoad,     ///< dlopen: a known module's range becomes live
+    ModuleUnload,   ///< dlclose: the range goes stale
+    JitRegionMap,   ///< executable anonymous mapping registered
+    JitRegionUnmap, ///< JIT region torn down
+    Rebase,         ///< a live range moves (ASLR re-randomization)
+};
+
+/** One code-map mutation in a process's address space. */
+struct CodeEvent
+{
+    CodeEventKind kind = CodeEventKind::ModuleLoad;
+    uint64_t cr3 = 0;       ///< issuing process
+    int32_t moduleIndex = -1;   ///< program module, or -1 for JIT
+    uint64_t base = 0;      ///< affected range [base, end)
+    uint64_t end = 0;
+    uint64_t newBase = 0;   ///< Rebase only: the destination base
+    uint64_t seq = 0;       ///< kernel-wide event sequence number
+};
+
+/** Subscriber interface for code-map mutations. */
+class CodeEventSink
+{
+  public:
+    virtual ~CodeEventSink() = default;
+    virtual void onCodeEvent(const CodeEvent &event) = 0;
+};
+
 } // namespace flowguard::cpu
 
 #endif // FLOWGUARD_CPU_EVENTS_HH

@@ -1,0 +1,113 @@
+#include "dynamic/dynamic_guard.hh"
+
+#include "support/logging.hh"
+
+namespace flowguard::dynamic {
+
+DynamicGuard::DynamicGuard(const isa::Program &program,
+                           analysis::ItcCfg &itc, JitPolicy policy)
+    : _program(program), _itc(itc), _map(program), _policy(policy)
+{
+    _itc.enableLiveness();
+}
+
+void
+DynamicGuard::startUnloaded(const std::vector<uint32_t> &modules)
+{
+    for (uint32_t index : modules)
+        handleModuleUnload(index);
+    // Initial state, not churn: don't count these as unload events.
+    _stats.moduleUnloads -= modules.size();
+}
+
+void
+DynamicGuard::registerInvalidationHook(InvalidationHook hook)
+{
+    _hooks.push_back(std::move(hook));
+}
+
+void
+DynamicGuard::invalidateRange(uint64_t begin, uint64_t end)
+{
+    size_t staged = 0;
+    for (const auto &hook : _hooks)
+        staged += hook(begin, end);
+    const size_t committed =
+        _itc.revokeRuntimeCreditsInRange(begin, end);
+    _stats.stagedDropped += staged;
+    _stats.committedDropped += committed;
+    _stats.cacheInvalidations += staged + committed;
+}
+
+void
+DynamicGuard::handleModuleLoad(size_t index)
+{
+    const auto &region = _map.region(index);
+    _map.setModuleLive(index, true);
+    const auto update = _itc.activateRange(region.base, region.end);
+    ++_stats.moduleLoads;
+    _stats.nodesActivated += update.nodes;
+    _stats.edgesActivated += update.outEdges + update.inEdges;
+    _stats.crossEdgesStitched += update.inEdges;
+    _stats.updateTouched += update.touched();
+}
+
+void
+DynamicGuard::handleModuleUnload(size_t index)
+{
+    const auto &region = _map.region(index);
+    // Order matters: drop cache state while the range still resolves,
+    // then retract the sub-graph and mark the map stale.
+    invalidateRange(region.base, region.end);
+    const auto update = _itc.deactivateRange(region.base, region.end);
+    _map.setModuleLive(index, false);
+    ++_stats.moduleUnloads;
+    _stats.nodesRetracted += update.nodes;
+    _stats.edgesRetracted += update.outEdges + update.inEdges;
+    _stats.updateTouched += update.touched();
+}
+
+void
+DynamicGuard::handleRebase(size_t index, uint64_t newBase)
+{
+    const auto region = _map.region(index);
+    invalidateRange(region.base, region.end);
+    _itc.applyRebase(region.base, region.end,
+                     static_cast<int64_t>(newBase) -
+                         static_cast<int64_t>(region.base));
+    _map.rebaseModule(index, newBase);
+    ++_stats.rebases;
+}
+
+void
+DynamicGuard::onCodeEvent(const cpu::CodeEvent &event)
+{
+    if (event.cr3 != _program.cr3())
+        return;
+    switch (event.kind) {
+      case cpu::CodeEventKind::ModuleLoad:
+        fg_assert(event.moduleIndex >= 0, "module event without index");
+        handleModuleLoad(static_cast<size_t>(event.moduleIndex));
+        break;
+      case cpu::CodeEventKind::ModuleUnload:
+        fg_assert(event.moduleIndex >= 0, "module event without index");
+        handleModuleUnload(static_cast<size_t>(event.moduleIndex));
+        break;
+      case cpu::CodeEventKind::JitRegionMap:
+        _map.mapJit(event.base, event.end);
+        ++_stats.jitMaps;
+        break;
+      case cpu::CodeEventKind::JitRegionUnmap:
+        invalidateRange(event.base, event.end);
+        if (_map.unmapJit(event.base))
+            ++_stats.jitUnmaps;
+        break;
+      case cpu::CodeEventKind::Rebase:
+        fg_assert(event.moduleIndex >= 0, "rebase without module");
+        handleRebase(static_cast<size_t>(event.moduleIndex),
+                     event.newBase);
+        break;
+    }
+}
+
+} // namespace flowguard::dynamic

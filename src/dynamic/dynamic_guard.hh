@@ -1,0 +1,126 @@
+/**
+ * @file
+ * DynamicGuard — the event-driven half of the dynamic-code subsystem.
+ *
+ * Subscribes to the kernel's CodeEvent stream and keeps three things
+ * coherent on every mutation:
+ *
+ *   1. the ModuleMap (current bases, liveness, JIT regions),
+ *   2. the ITC-CFG (incremental sub-graph merge/retract/rebase —
+ *      never a whole-program re-analysis), and
+ *   3. the verdict cache (staged transitions and committed runtime
+ *      credit touching the affected range are dropped, so no stale
+ *      credit can convict or pass a later window).
+ *
+ * Invalidation accounting is exact and auditable:
+ *
+ *   cacheInvalidations == stagedDropped + committedDropped
+ *
+ * Trained (offline) credits are deliberately *not* revoked: they are
+ * properties of the module's code, ride a retracted sub-graph, and
+ * revive when the module is mapped back in. Only credit earned online
+ * against a particular mapping is range-revocable.
+ *
+ * The guard knows nothing about the runtime layer; the Monitor hooks
+ * itself in via registerInvalidationHook, keeping the dependency flow
+ * one-way (dynamic <- runtime).
+ */
+
+#ifndef FLOWGUARD_DYNAMIC_DYNAMIC_GUARD_HH
+#define FLOWGUARD_DYNAMIC_DYNAMIC_GUARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/itc_cfg.hh"
+#include "cpu/events.hh"
+#include "dynamic/module_map.hh"
+#include "isa/program.hh"
+
+namespace flowguard::dynamic {
+
+/** Counters for the dynamic-code subsystem. */
+struct DynamicStats
+{
+    uint64_t moduleLoads = 0;
+    uint64_t moduleUnloads = 0;
+    uint64_t jitMaps = 0;
+    uint64_t jitUnmaps = 0;
+    uint64_t rebases = 0;
+
+    /** Incremental ITC-CFG update accounting. */
+    uint64_t nodesActivated = 0;
+    uint64_t nodesRetracted = 0;
+    uint64_t edgesActivated = 0;
+    uint64_t edgesRetracted = 0;
+    /** Cross-module (PLT-style) in-edges stitched back on load. */
+    uint64_t crossEdgesStitched = 0;
+    /** Total graph elements touched by incremental updates — the
+     *  sub-linearity witness against whole-graph size x events. */
+    uint64_t updateTouched = 0;
+
+    /** Verdict-cache invalidation accounting. */
+    uint64_t cacheInvalidations = 0;
+    uint64_t stagedDropped = 0;
+    uint64_t committedDropped = 0;
+
+    bool
+    accountingBalances() const
+    {
+        return cacheInvalidations == stagedDropped + committedDropped;
+    }
+};
+
+class DynamicGuard : public cpu::CodeEventSink
+{
+  public:
+    /**
+     * Invalidation callback: drop staged verdict-cache state touching
+     * [begin, end), returning how many staged entries were dropped.
+     * Registered by each attached Monitor.
+     */
+    using InvalidationHook =
+        std::function<size_t(uint64_t begin, uint64_t end)>;
+
+    /**
+     * Enables liveness tracking on `itc` (idempotent; runtime credit
+     * survives) and seeds the module map from `program`, all modules
+     * live. Both references must outlive the guard.
+     */
+    DynamicGuard(const isa::Program &program, analysis::ItcCfg &itc,
+                 JitPolicy policy = JitPolicy::Allowlist);
+
+    /**
+     * Marks `modules` (program module indices) initially unloaded:
+     * their sub-graphs are retracted and any runtime credit on them
+     * from earlier runs is revoked, exactly as a ModuleUnload would.
+     */
+    void startUnloaded(const std::vector<uint32_t> &modules);
+
+    void registerInvalidationHook(InvalidationHook hook);
+
+    /** CodeEventSink: ignores events for other address spaces. */
+    void onCodeEvent(const cpu::CodeEvent &event) override;
+
+    const ModuleMap &map() const { return _map; }
+    JitPolicy policy() const { return _policy; }
+    const DynamicStats &stats() const { return _stats; }
+
+  private:
+    void handleModuleLoad(size_t index);
+    void handleModuleUnload(size_t index);
+    void handleRebase(size_t index, uint64_t newBase);
+    void invalidateRange(uint64_t begin, uint64_t end);
+
+    const isa::Program &_program;
+    analysis::ItcCfg &_itc;
+    ModuleMap _map;
+    JitPolicy _policy;
+    DynamicStats _stats;
+    std::vector<InvalidationHook> _hooks;
+};
+
+} // namespace flowguard::dynamic
+
+#endif // FLOWGUARD_DYNAMIC_DYNAMIC_GUARD_HH

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "support/logging.hh"
+#include "support/random.hh"
 
 namespace flowguard::isa {
 
@@ -13,6 +14,68 @@ uint64_t
 roundUp(uint64_t value, uint64_t align)
 {
     return (value + align - 1) & ~(align - 1);
+}
+
+/**
+ * Relocation-invariant module content hash. Runs over the pre-fixup
+ * instruction stream (module-local offsets only), symbol names, and
+ * data images, so the same module produces the same fingerprint under
+ * any base assignment — the anchor that lets per-module profiles
+ * survive ASLR and rebasing.
+ */
+uint64_t
+moduleFingerprint(const Module &mod)
+{
+    uint64_t state = 0xf1061c0de5eedULL;
+    uint64_t fp = 0;
+    auto mix = [&](uint64_t value) {
+        state ^= value;
+        fp = splitmix64(state);
+    };
+    auto mixStr = [&](const std::string &s) {
+        uint64_t h = 0xcbf29ce484222325ULL;     // FNV-1a
+        for (char c : s)
+            h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+        mix(h);
+    };
+
+    mixStr(mod.name);
+    mix(static_cast<uint64_t>(mod.kind));
+    mix(mod.codeSize);
+    mix(mod.dataSize);
+    for (size_t k = 0; k < mod.code.size(); ++k) {
+        const Instruction &inst = mod.code[k];
+        mix(static_cast<uint64_t>(inst.op));
+        mix(static_cast<uint64_t>(inst.rd));
+        mix(static_cast<uint64_t>(inst.rs));
+        mix(static_cast<uint64_t>(inst.imm));
+        mix(inst.target);
+        mix(mod.instOffsets[k]);
+    }
+    for (const auto &fn : mod.functions) {
+        mixStr(fn.name);
+        mix(fn.offset);
+        mix(fn.numInsts);
+        mix(fn.exported ? 1 : 0);
+    }
+    for (const auto &fx : mod.fixups) {
+        mix(static_cast<uint64_t>(fx.kind));
+        mix(static_cast<uint64_t>(fx.field));
+        mix(fx.instIndex);
+        mixStr(fx.symbol);
+    }
+    for (const auto &obj : mod.data) {
+        mixStr(obj.name);
+        mix(obj.offset);
+        for (uint8_t b : obj.bytes)
+            mix(b);
+        for (const auto &reloc : obj.relocs) {
+            mix(reloc.offset);
+            mixStr(reloc.symbol);
+            mix(reloc.global ? 1 : 0);
+        }
+    }
+    return fp;
 }
 
 void
@@ -69,6 +132,13 @@ Loader &
 Loader::cr3(uint64_t value)
 {
     _cr3 = value;
+    return *this;
+}
+
+Loader &
+Loader::layout(LayoutPolicy policy)
+{
+    _layout = policy;
     return *this;
 }
 
@@ -206,20 +276,31 @@ Loader::link()
         synthesizePlt(mod);
 
     // --- base assignment ------------------------------------------------
+    // Fixed and randomized layouts share one path: the policy supplies
+    // the arena anchors, and `randomize` adds one seeded page-aligned
+    // slide per module (one Rng draw per module, in load order, so a
+    // given seed always reproduces the same layout).
     _codeBases.assign(_mods.size(), 0);
     _dataBases.assign(_mods.size(), 0);
+    Rng aslr(_layout.seed);
+    auto slide = [&]() -> uint64_t {
+        if (!_layout.randomize)
+            return 0;
+        return aslr.below(_layout.maxSlidePages + 1) * layout::page;
+    };
     size_t lib_index = 0;
     for (size_t i = 0; i < _mods.size(); ++i) {
         uint64_t base;
         switch (_mods[i].kind) {
           case ModuleKind::Executable:
-            base = layout::exec_base;
+            base = _layout.execBase + slide();
             break;
           case ModuleKind::SharedLib:
-            base = layout::lib_base + lib_index++ * layout::lib_stride;
+            base = _layout.libBase + lib_index++ * _layout.libStride +
+                   slide();
             break;
           case ModuleKind::Vdso:
-            base = layout::vdso_base;
+            base = _layout.vdsoBase + slide();
             break;
           default:
             fg_panic("bad module kind");
@@ -232,8 +313,8 @@ Loader::link()
 
     Program prog;
     prog._cr3 = _cr3;
-    prog._stackTop = layout::stack_top;
-    prog._stackSize = layout::stack_size;
+    prog._stackTop = _layout.stackTop;
+    prog._stackSize = _layout.stackSize;
 
     // --- module tables ----------------------------------------------------
     for (size_t i = 0; i < _mods.size(); ++i) {
@@ -245,11 +326,28 @@ Loader::link()
         lm.codeEnd = _codeBases[i] + std::max<uint64_t>(mod.codeSize, 1);
         lm.dataBase = _dataBases[i];
         lm.dataEnd = _dataBases[i] + std::max<uint64_t>(mod.dataSize, 1);
+        lm.fingerprint = moduleFingerprint(mod);
         for (const auto &fn : mod.functions)
             lm.funcAddrs[fn.name] = lm.codeBase + fn.offset;
         for (const auto &obj : mod.data)
             lm.dataAddrs[obj.name] = lm.dataBase + obj.offset;
         prog._modules.push_back(std::move(lm));
+    }
+
+    // --- overlap check ----------------------------------------------------
+    // Module images (code + data) and the stack must occupy disjoint
+    // ranges under every layout, randomized or not.
+    {
+        std::vector<std::pair<uint64_t, uint64_t>> ranges;
+        for (const auto &lm : prog._modules)
+            ranges.emplace_back(lm.codeBase, lm.dataEnd);
+        ranges.emplace_back(prog._stackTop - prog._stackSize,
+                            prog._stackTop);
+        std::sort(ranges.begin(), ranges.end());
+        for (size_t i = 1; i < ranges.size(); ++i) {
+            fg_assert(ranges[i - 1].second <= ranges[i].first,
+                      "module/stack ranges overlap at link time");
+        }
     }
 
     // --- instruction fixups -------------------------------------------

@@ -21,6 +21,38 @@
 
 namespace flowguard::isa {
 
+/**
+ * Address-space layout policy. The fixed and randomized paths share
+ * this one struct: the classic constants are the defaults, and
+ * `randomize` adds a seeded, page-aligned slide per module arena.
+ * Slides are bounded by `maxSlidePages` so arenas stay disjoint
+ * (32 MiB of slide against a 256 MiB library stride and a ~127 MiB
+ * vdso-to-stack gap).
+ */
+struct LayoutPolicy
+{
+    uint64_t execBase = 0x400000;
+    uint64_t libBase = 0x7f0000000000ULL;
+    uint64_t libStride = 0x10000000ULL;
+    uint64_t vdsoBase = 0x7ffff7ff0000ULL;
+    uint64_t stackTop = 0x7ffffffff000ULL;
+    uint64_t stackSize = 1ULL << 20;
+    bool randomize = false;
+    uint64_t seed = 0;
+    uint64_t maxSlidePages = 0x2000;    ///< 32 MiB at 4 KiB pages
+
+    static LayoutPolicy fixed() { return {}; }
+
+    static LayoutPolicy
+    randomized(uint64_t seed)
+    {
+        LayoutPolicy policy;
+        policy.randomize = true;
+        policy.seed = seed;
+        return policy;
+    }
+};
+
 class Loader
 {
   public:
@@ -40,6 +72,9 @@ class Loader
 
     /** Distinguishes processes for CR3 trace filtering (default 1). */
     Loader &cr3(uint64_t value);
+
+    /** Address-space layout (default LayoutPolicy::fixed()). */
+    Loader &layout(LayoutPolicy policy);
 
     /** Links everything into a Program. Consumes the loader. */
     Program link();
@@ -64,6 +99,7 @@ class Loader
     bool _haveExecutable = false;
     std::string _entryName = "main";
     uint64_t _cr3 = 1;
+    LayoutPolicy _layout;
 
     /** Filled during link(): absolute bases per module. */
     std::vector<uint64_t> _codeBases;
@@ -80,6 +116,7 @@ constexpr uint64_t vdso_base = 0x7ffff7ff0000ULL;
 constexpr uint64_t stack_top = 0x7ffffffff000ULL;
 constexpr uint64_t stack_size = 1ULL << 20;
 constexpr uint64_t mmap_base = 0x100000000ULL;
+constexpr uint64_t jit_base = 0x200000000ULL;
 constexpr uint64_t page = 0x1000;
 
 } // namespace layout

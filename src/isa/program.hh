@@ -36,6 +36,10 @@ struct LoadedModule
     uint64_t dataEnd = 0;
     std::unordered_map<std::string, uint64_t> funcAddrs;
     std::unordered_map<std::string, uint64_t> dataAddrs;
+    /** Relocation-invariant content hash: computed over the module's
+     *  pre-fixup instructions, offsets, symbols and data, so the same
+     *  module hashes identically under any base (ASLR / rebase). */
+    uint64_t fingerprint = 0;
 };
 
 /** A function after loading, with absolute [entry, end) code range. */

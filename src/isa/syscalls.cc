@@ -21,6 +21,10 @@ syscallName(int64_t number)
       case Syscall::Accept: return "accept";
       case Syscall::Send: return "send";
       case Syscall::Recv: return "recv";
+      case Syscall::DlOpen: return "dlopen";
+      case Syscall::DlClose: return "dlclose";
+      case Syscall::JitMap: return "jit_map";
+      case Syscall::JitUnmap: return "jit_unmap";
     }
     return "unknown";
 }

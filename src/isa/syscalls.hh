@@ -28,6 +28,14 @@ enum class Syscall : int64_t {
     Accept = 43,
     Send = 44,
     Recv = 45,
+    // Simulated loader/JIT hooks (no Linux equivalent — the real
+    // system hooks dlopen/dlclose and anonymous-executable mmap; we
+    // model them as dedicated syscalls so the FlowGuard kernel sees
+    // the same event stream a loader shim would deliver).
+    DlOpen = 600,
+    DlClose = 601,
+    JitMap = 602,
+    JitUnmap = 603,
 };
 
 /** Human-readable syscall name ("write", "mprotect", ...). */

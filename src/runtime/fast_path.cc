@@ -62,12 +62,69 @@ FastPathChecker::checkTransitions(
     // truncating the conditional-outcome run of the first edge; its
     // TNT information is therefore unusable (the edge itself is still
     // checked).
+    //
+    // With a module map attached, endpoints are classified first:
+    // stale ranges convict outright, JIT/unknown code resolves by the
+    // JitPolicy, and only live-module pairs reach edge matching.
+    enum class Resolution : uint8_t { Check, Waive, Violate };
+    auto resolveDynamic = [&](const decode::TipTransition &transition,
+                              FastPathResult &res) {
+        if (!_map)
+            return Resolution::Check;
+        const auto to_class = _map->classify(transition.to).cls;
+        auto from_class = dynamic::AddrClass::LiveModule;
+        if (transition.from != 0)
+            from_class = _map->classify(transition.from).cls;
+        if (to_class == dynamic::AddrClass::StaleModule ||
+            from_class == dynamic::AddrClass::StaleModule) {
+            res.staleHit = true;
+            return Resolution::Violate;
+        }
+        const bool jit = to_class == dynamic::AddrClass::JitRegion ||
+                         from_class == dynamic::AddrClass::JitRegion;
+        if (jit) {
+            switch (_jitPolicy) {
+              case dynamic::JitPolicy::Deny:
+                return Resolution::Violate;
+              case dynamic::JitPolicy::AuditOnly:
+                ++res.unknownTips;
+                return Resolution::Waive;
+              case dynamic::JitPolicy::Allowlist:
+                ++res.jitTips;
+                res.forceSlow = true;
+                return Resolution::Waive;
+            }
+        }
+        const bool unknown =
+            to_class == dynamic::AddrClass::Unknown ||
+            from_class == dynamic::AddrClass::Unknown;
+        if (unknown && _jitPolicy == dynamic::JitPolicy::AuditOnly) {
+            ++res.unknownTips;
+            return Resolution::Waive;
+        }
+        // Unknown under Deny/Allowlist falls through: findNode /
+        // findEdge will miss and convict, the static behavior.
+        return Resolution::Check;
+    };
+
     const size_t tnt_valid_from = 2;
     for (size_t i = begin; i < all.size(); ++i) {
         const auto &transition = all[i];
         ++result.tipsChecked;
         if (_account)
             _account->check += cpu::cost::check_per_edge;
+
+        switch (resolveDynamic(transition, result)) {
+          case Resolution::Waive:
+            continue;
+          case Resolution::Violate:
+            result.verdict = CheckVerdict::Violation;
+            result.violatingFrom = transition.from;
+            result.violatingTo = transition.to;
+            return result;
+          case Resolution::Check:
+            break;
+        }
 
         if (transition.from == 0) {
             // Window head: only the target can be validated.
@@ -81,7 +138,7 @@ FastPathChecker::checkTransitions(
 
         const int64_t edge =
             _itc.findEdge(transition.from, transition.to);
-        if (edge < 0) {
+        if (edge < 0 || !_itc.edgeLive(edge)) {
             result.verdict = CheckVerdict::Violation;
             result.violatingFrom = transition.from;
             result.violatingTo = transition.to;
@@ -117,7 +174,7 @@ FastPathChecker::checkTransitions(
 
     result.verdict =
         result.observedCredRatio() >= _config.credRatio &&
-                result.pathMisses == 0
+                result.pathMisses == 0 && !result.forceSlow
             ? CheckVerdict::Pass
             : CheckVerdict::Suspicious;
     return result;

@@ -26,6 +26,7 @@
 #include "analysis/path_index.hh"
 #include "cpu/cost_model.hh"
 #include "decode/fast_decoder.hh"
+#include "dynamic/module_map.hh"
 #include "isa/program.hh"
 
 namespace flowguard::runtime {
@@ -58,6 +59,16 @@ struct FastPathResult
     /** The offending transition when verdict == Violation. */
     uint64_t violatingFrom = 0;
     uint64_t violatingTo = 0;
+
+    // Dynamic-code classification (all zero without a module map).
+    /** Transitions waived under JitPolicy::AuditOnly. */
+    size_t unknownTips = 0;
+    /** Registered-JIT transitions waived under Allowlist. */
+    size_t jitTips = 0;
+    /** Violation was a TIP into an unloaded module's stale range. */
+    bool staleHit = false;
+    /** Allowlist saw JIT code: a Pass must still go slow-path. */
+    bool forceSlow = false;
 
     // Loss accounting propagated from the packet-layer decode. The
     // verdict itself stays loss-blind here: degradation policy is the
@@ -110,12 +121,27 @@ class FastPathChecker
     /** Overload batching: widen/narrow the checked window live. */
     void setPktCount(size_t pkt_count) { _config.pktCount = pkt_count; }
 
+    /**
+     * Attaches the dynamic-code view: TIP endpoints are classified
+     * through `map` before edge matching, and `policy` decides what
+     * JIT/unknown code does. `map` must outlive the checker; nullptr
+     * restores static behavior.
+     */
+    void
+    setDynamic(const dynamic::ModuleMap *map, dynamic::JitPolicy policy)
+    {
+        _map = map;
+        _jitPolicy = policy;
+    }
+
   private:
     const analysis::ItcCfg &_itc;
     const isa::Program &_program;
     FastPathConfig _config;
     cpu::CycleAccount *_account;
     const analysis::PathIndex *_paths;
+    const dynamic::ModuleMap *_map = nullptr;
+    dynamic::JitPolicy _jitPolicy = dynamic::JitPolicy::Allowlist;
 };
 
 } // namespace flowguard::runtime

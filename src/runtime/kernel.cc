@@ -18,6 +18,7 @@ violationKindName(ViolationReport::Kind kind)
       case ViolationReport::Kind::AttachFailure:
         return "attach-failure";
       case ViolationReport::Kind::Quarantined: return "quarantined";
+      case ViolationReport::Kind::UnknownCode: return "unknown-code";
     }
     return "?";
 }
@@ -51,6 +52,30 @@ FlowGuardKernel::attachProcess(uint64_t cr3, Monitor &monitor,
     endpoint.account = account;
     _endpoints[cr3] = endpoint;
     _config.protectedCr3s.insert(cr3);
+}
+
+bool
+FlowGuardKernel::retiresCode(int64_t number)
+{
+    return number == static_cast<int64_t>(Syscall::DlClose) ||
+           number == static_cast<int64_t>(Syscall::JitUnmap);
+}
+
+void
+FlowGuardKernel::fileAuditReport(Monitor &monitor, uint64_t cr3,
+                                 uint64_t seq, int64_t number)
+{
+    const uint64_t waived = monitor.consumeUnknownAudit();
+    if (waived == 0)
+        return;
+    ViolationReport report;
+    report.kind = ViolationReport::Kind::UnknownCode;
+    report.cr3 = cr3;
+    report.seq = seq;
+    report.syscall = number;
+    report.reason = "audit-only: " + std::to_string(waived) +
+        " unknown-code transition(s) waived";
+    _auditReports.push_back(std::move(report));
 }
 
 cpu::SyscallResult
@@ -105,6 +130,20 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
         ViolationReport pending;
         if (_service->consumePendingKill(cr3, pending))
             return killWith(std::move(pending));
+        if (retiresCode(number) && _service->isProtected(cr3)) {
+            // Code-unload barrier (see inline mode below): the whole
+            // buffer is judged synchronously before the unload event
+            // can fire, while the module map still shows the code
+            // live.
+            ++_endpointHits;
+            EndpointDecision decision =
+                _service->codeBarrier(cpu, number);
+            if (decision.kill)
+                return killWith(std::move(decision.report));
+            if (Monitor *monitor = _service->monitorFor(cr3))
+                fileAuditReport(*monitor, cr3, 0, number);
+            return dispatch(cpu, number);
+        }
         if (_config.endpoints.count(number) &&
             _service->isProtected(cr3)) {
             ++_endpointHits;
@@ -112,15 +151,19 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
                 _service->onEndpoint(cpu, number);
             if (decision.kill)
                 return killWith(std::move(decision.report));
+            if (Monitor *monitor = _service->monitorFor(cr3))
+                fileAuditReport(*monitor, cr3, 0, number);
         }
         return dispatch(cpu, number);
     }
 
     // Inline mode: the original single-kernel path, generalized over
     // the CR3 registry. Checks run synchronously with no deadline.
-    const bool intercept = _config.enabled &&
-        _config.endpoints.count(number) &&
+    const bool guarded = _config.enabled &&
         _config.protectedCr3s.count(cr3);
+    const bool barrier = guarded && retiresCode(number);
+    const bool intercept = guarded &&
+        (barrier || _config.endpoints.count(number));
     auto it = intercept ? _endpoints.find(cr3) : _endpoints.end();
 
     if (it != _endpoints.end()) {
@@ -131,8 +174,13 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
             endpoint.account->other += cpu::cost::intercept_per_syscall;
 
         endpoint.encoder->flushTnt();
-        const CheckVerdict verdict =
-            endpoint.monitor->check(endpoint.topa->snapshot());
+        // A code-retiring syscall is a barrier: every pre-unload TIP
+        // in the buffer is judged now, while the module map still
+        // shows the code live — after dispatch fires the unload
+        // event, its range convicts on sight.
+        const CheckVerdict verdict = barrier
+            ? endpoint.monitor->checkFull(endpoint.topa->snapshot())
+            : endpoint.monitor->check(endpoint.topa->snapshot());
         if (verdict == CheckVerdict::Violation) {
             ViolationReport report;
             report.cr3 = cr3;
@@ -148,7 +196,10 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
               case Monitor::VerdictSource::FastPath:
                 report.from = fast.violatingFrom;
                 report.to = fast.violatingTo;
-                report.reason = "fast path: ITC-CFG edge mismatch";
+                report.reason = fast.staleHit
+                    ? "fast path: transition into unloaded module's "
+                      "stale range"
+                    : "fast path: ITC-CFG edge mismatch";
                 break;
               case Monitor::VerdictSource::SlowPath:
                 report.from = slow.violatingSource;
@@ -157,6 +208,18 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
                 break;
             }
             return killWith(std::move(report));
+        }
+        fileAuditReport(*endpoint.monitor, cr3, endpoint.seq, number);
+        if (barrier) {
+            // The window passed: bank any staged credit before the
+            // unload event drops entries touching the range, then
+            // restart the stream. Post-barrier windows can only hold
+            // post-unload TIPs, so a stale-range TIP from here on is
+            // evidence of an attack, not history.
+            if (endpoint.monitor->cachePending())
+                endpoint.monitor->commitCache();
+            endpoint.topa->clear();
+            endpoint.encoder->restartStream();
         }
     }
     return dispatch(cpu, number);

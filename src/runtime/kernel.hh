@@ -54,6 +54,10 @@ struct ViolationReport
         CheckTimeout,
         AttachFailure,
         Quarantined,
+        /** AuditOnly observation: transitions through unknown code
+         *  were waived, not enforced. Never a kill — these live in
+         *  auditReports(), not violations(). */
+        UnknownCode,
     };
 
     Kind kind = Kind::CfiViolation;
@@ -124,6 +128,17 @@ class FlowGuardKernel : public cpu::BasicKernel
         return _violations;
     }
 
+    /**
+     * Non-fatal Kind::UnknownCode observations filed under
+     * JitPolicy::AuditOnly. Kept out of violations() so detection
+     * semantics (attackDetected, kill counts) are unchanged by
+     * auditing.
+     */
+    const std::vector<ViolationReport> &auditReports() const
+    {
+        return _auditReports;
+    }
+
   private:
     /** Per-process endpoint wiring (checking engine + trace tap). */
     struct Endpoint
@@ -137,6 +152,15 @@ class FlowGuardKernel : public cpu::BasicKernel
 
     cpu::SyscallResult killWith(ViolationReport report);
 
+    /** True for syscalls that retire executable code (dlclose,
+     *  jit_unmap) — these run the code-unload barrier. */
+    static bool retiresCode(int64_t number);
+
+    /** Turns waived unknown-code transitions accumulated in the
+     *  monitor into one Kind::UnknownCode audit report. */
+    void fileAuditReport(Monitor &monitor, uint64_t cr3, uint64_t seq,
+                         int64_t number);
+
     Config _config;
     std::map<uint64_t, Endpoint> _endpoints;
     ProtectionService *_service = nullptr;
@@ -144,6 +168,7 @@ class FlowGuardKernel : public cpu::BasicKernel
     uint64_t _endpointHits = 0;
     uint64_t _kills = 0;
     std::vector<ViolationReport> _violations;
+    std::vector<ViolationReport> _auditReports;
 };
 
 } // namespace flowguard::runtime

@@ -1,5 +1,7 @@
 #include "runtime/monitor.hh"
 
+#include <algorithm>
+
 #include "decode/fast_decoder.hh"
 
 namespace flowguard::runtime {
@@ -34,7 +36,53 @@ Monitor::checkFull(const std::vector<uint8_t> &packets)
     full_config.requireModuleStride = false;
     FastPathChecker full(_itc, _program, full_config, _account,
                          _paths);
+    if (_dynamic)
+        full.setDynamic(&_dynamic->map(), _dynamic->policy());
     return finishCheck(full.check(packets), packets);
+}
+
+void
+Monitor::attachDynamic(dynamic::DynamicGuard &guard)
+{
+    _dynamic = &guard;
+    _fast.setDynamic(&guard.map(), guard.policy());
+    _slow.setDynamic(&guard.map(), guard.policy(), &_itc);
+    guard.registerInvalidationHook(
+        [this](uint64_t begin, uint64_t end) {
+            return invalidateStaged(begin, end);
+        });
+}
+
+size_t
+Monitor::invalidateStaged(uint64_t begin, uint64_t end)
+{
+    if (_cacheTransitions.empty())
+        return 0;
+    const auto touches = [&](const decode::TipTransition &transition) {
+        const bool from_in = transition.from >= begin &&
+                             transition.from < end;
+        const bool to_in = transition.to >= begin &&
+                           transition.to < end;
+        return from_in || to_in;
+    };
+    const size_t before = _cacheTransitions.size();
+    _cacheTransitions.erase(
+        std::remove_if(_cacheTransitions.begin(),
+                       _cacheTransitions.end(), touches),
+        _cacheTransitions.end());
+    const size_t dropped = before - _cacheTransitions.size();
+    if (_cacheTransitions.empty())
+        _cachePending = false;
+    _stats.stagedInvalidated += dropped;
+    return dropped;
+}
+
+uint64_t
+Monitor::consumeUnknownAudit()
+{
+    const uint64_t pending = _pendingUnknownAudit;
+    _pendingUnknownAudit = 0;
+    return pending;
 }
 
 CheckVerdict
@@ -58,6 +106,11 @@ Monitor::resolveFast(FastPathResult fast)
     _stats.tipsChecked += _lastFast.tipsChecked;
     _stats.edgesChecked += _lastFast.edgesChecked;
     _stats.highCreditEdges += _lastFast.highCreditEdges;
+    _stats.unknownCodeTips += _lastFast.unknownTips;
+    _stats.jitWaivedTips += _lastFast.jitTips;
+    _pendingUnknownAudit += _lastFast.unknownTips;
+    if (_lastFast.staleHit)
+        ++_stats.staleViolations;
 
     FastPhaseOutcome outcome;
     outcome.loss = _lastFast.lossDetected();
@@ -75,6 +128,7 @@ Monitor::resolveFast(FastPathResult fast)
         ++_stats.violations;
         _lastSource = VerdictSource::LossPolicy;
         outcome.verdict = CheckVerdict::Violation;
+        _verdictLog.push_back(static_cast<uint8_t>(outcome.verdict));
         return outcome;
     }
     if (outcome.loss && _config.lossPolicy == LossPolicy::LogAndPass)
@@ -90,11 +144,15 @@ Monitor::resolveFast(FastPathResult fast)
         if (_lastFast.verdict == CheckVerdict::Pass) {
             ++_stats.fastPass;
             outcome.verdict = CheckVerdict::Pass;
+            _verdictLog.push_back(
+                static_cast<uint8_t>(outcome.verdict));
             return outcome;
         }
         if (_lastFast.verdict == CheckVerdict::Violation) {
             ++_stats.violations;
             outcome.verdict = CheckVerdict::Violation;
+            _verdictLog.push_back(
+                static_cast<uint8_t>(outcome.verdict));
             return outcome;
         }
     }
@@ -113,11 +171,18 @@ Monitor::slowPhase(const std::vector<uint8_t> &packets, bool loss)
     ++_stats.slowChecks;
     _lastSlow = _slow.check(packets);
     _lastSource = VerdictSource::SlowPath;
+    if (_lastSlow.degraded)
+        ++_stats.jitDegradedChecks;
+    if (_lastSlow.staleHit)
+        ++_stats.staleViolations;
     if (_lastSlow.verdict == CheckVerdict::Violation) {
         ++_stats.violations;
+        _verdictLog.push_back(
+            static_cast<uint8_t>(CheckVerdict::Violation));
         return CheckVerdict::Violation;
     }
     ++_stats.slowPass;
+    _verdictLog.push_back(static_cast<uint8_t>(CheckVerdict::Pass));
 
     // Never cache verdicts from a lossy window: edges extracted from
     // a damaged buffer must not earn durable high credit.
@@ -171,7 +236,10 @@ Monitor::commitCache()
             _itc.findEdge(transition.from, transition.to);
         if (edge < 0)
             continue;
-        _itc.setHighCredit(edge);
+        // Online credit goes into the revocable runtime bitmap, not
+        // the trained one: unload/rebase must be able to take it back
+        // for a range without erasing training data.
+        _itc.setRuntimeCredit(edge);
         _itc.addTntSequence(edge, transition.tnt);
     }
     discardCache();

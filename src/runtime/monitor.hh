@@ -15,6 +15,7 @@
 #include "analysis/cfg.hh"
 #include "analysis/itc_cfg.hh"
 #include "analysis/typearmor.hh"
+#include "dynamic/dynamic_guard.hh"
 #include "runtime/fast_path.hh"
 #include "runtime/slow_path.hh"
 
@@ -79,6 +80,13 @@ struct MonitorStats
     uint64_t lossEscalations = 0;   ///< EscalateSlowPath upcalls
     uint64_t lossViolations = 0;    ///< FailClosed convictions
     uint64_t lossAccepted = 0;      ///< LogAndPass waves-through
+
+    // Dynamic-code accounting (zero without an attached guard).
+    uint64_t unknownCodeTips = 0;   ///< AuditOnly-waived transitions
+    uint64_t jitWaivedTips = 0;     ///< Allowlist-waived JIT hits
+    uint64_t jitDegradedChecks = 0; ///< slow checks degraded by JIT
+    uint64_t staleViolations = 0;   ///< stale-range convictions
+    uint64_t stagedInvalidated = 0; ///< staged cache entries dropped
 
     /** Fraction of checks resolved without the slow path. */
     double
@@ -198,6 +206,36 @@ class Monitor
 
     LossPolicy lossPolicy() const { return _config.lossPolicy; }
 
+    /**
+     * Wires the dynamic-code subsystem in: both checkers classify
+     * TIPs through the guard's module map, and the guard gains an
+     * invalidation hook that drops staged verdict-cache entries
+     * touching an unloaded/rebased range. `guard` must outlive the
+     * monitor.
+     */
+    void attachDynamic(dynamic::DynamicGuard &guard);
+
+    /**
+     * Drops staged cache transitions with an endpoint in
+     * [begin, end); returns how many were dropped. Called by the
+     * DynamicGuard via the invalidation hook.
+     */
+    size_t invalidateStaged(uint64_t begin, uint64_t end);
+
+    /**
+     * One byte per finally-resolved check (the CheckVerdict value) —
+     * the byte-identical stream the ASLR property test compares
+     * across layouts.
+     */
+    const std::vector<uint8_t> &verdictLog() const
+    {
+        return _verdictLog;
+    }
+
+    /** Unknown-code transitions waived since the last consume (the
+     *  kernel turns these into UnknownCode audit reports). */
+    uint64_t consumeUnknownAudit();
+
   private:
     CheckVerdict finishCheck(FastPathResult fast,
                              const std::vector<uint8_t> &packets);
@@ -219,6 +257,10 @@ class Monitor
     /** Staged (uncommitted) verdict-cache material. */
     std::vector<decode::TipTransition> _cacheTransitions;
     bool _cachePending = false;
+
+    dynamic::DynamicGuard *_dynamic = nullptr;
+    std::vector<uint8_t> _verdictLog;
+    uint64_t _pendingUnknownAudit = 0;
 };
 
 } // namespace flowguard::runtime

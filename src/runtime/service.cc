@@ -303,6 +303,55 @@ ProtectionService::onEndpoint(cpu::Cpu &cpu, int64_t syscall)
 }
 
 EndpointDecision
+ProtectionService::codeBarrier(cpu::Cpu &cpu, int64_t syscall)
+{
+    EndpointDecision decision;
+    const uint64_t cr3 = cpu.program().cr3();
+    auto it = _processes.find(cr3);
+    if (it == _processes.end() || !it->second.attached)
+        return decision;
+    ProcessRecord &proc = it->second;
+    ++proc.seq;
+    ++_stats.barrierChecks;
+    if (proc.account)
+        proc.account->other += cpu::cost::intercept_per_syscall;
+
+    // Full-window check, synchronous by design: the unload must not
+    // retire code the checker has not finished judging, so this one
+    // check bypasses the scheduler and its deadlines.
+    proc.monitor->setPktCount(proc.basePktCount);
+    proc.encoder->flushTnt();
+    const CheckVerdict verdict =
+        proc.monitor->checkFull(proc.topa->snapshot());
+    if (verdict == CheckVerdict::Violation) {
+        ViolationReport report = reportFromMonitor(proc, syscall);
+        const bool audit_class = proc.quarantined &&
+            _config.quarantineAction == QuarantineAction::Audit;
+        if (audit_class) {
+            ++_stats.auditViolations;
+            report.reason += " [audit-class, enforcement waived]";
+            _reports.push_back(std::move(report));
+        } else {
+            decision.kill = true;
+            decision.report = std::move(report);
+            return decision;
+        }
+    }
+
+    // The pre-unload window passed while the module map still showed
+    // the code live: bank its staged credit now — once the unload
+    // event fires, staged entries touching the range are dropped —
+    // then restart the stream so post-barrier windows can only
+    // contain post-unload TIPs.
+    if (proc.monitor->cachePending())
+        proc.monitor->commitCache();
+    proc.topa->clear();
+    proc.encoder->restartStream();
+    proc.lastCheckedWritten = proc.topa->totalWritten();
+    return decision;
+}
+
+EndpointDecision
 ProtectionService::resolve(ProcessRecord &proc, int64_t syscall,
                            const CheckScheduler::SubmitOutcome &out)
 {

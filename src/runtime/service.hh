@@ -88,6 +88,7 @@ struct ServiceConfig
 struct ServiceStats
 {
     uint64_t endpointChecks = 0;    ///< endpoint hits routed here
+    uint64_t barrierChecks = 0;     ///< code-unload barrier checks
     uint64_t coalesced = 0;         ///< checks skipped by batching
     uint64_t inlineFastPass = 0;    ///< resolved by fast phase alone
     uint64_t escalations = 0;       ///< submitted to the scheduler
@@ -159,6 +160,25 @@ class ProtectionService
      * issuing CPU on an endpoint syscall.
      */
     EndpointDecision onEndpoint(cpu::Cpu &cpu, int64_t syscall);
+
+    /**
+     * The code-unload barrier for a dlclose / jit_unmap syscall: a
+     * synchronous full-buffer check (never scheduled or deferred —
+     * the unload must not complete before the verdict), then the
+     * staged verdict cache is committed and the trace stream
+     * restarted so post-barrier windows can only hold post-unload
+     * TIPs.
+     */
+    EndpointDecision codeBarrier(cpu::Cpu &cpu, int64_t syscall);
+
+    /** The monitor registered for `cr3` (nullptr when unknown) —
+     *  lets the kernel drain audit observations after a decision. */
+    Monitor *
+    monitorFor(uint64_t cr3)
+    {
+        auto it = _processes.find(cr3);
+        return it == _processes.end() ? nullptr : it->second.monitor;
+    }
 
     /**
      * Pops one queued kill for `cr3` (deferred verdicts, quarantine

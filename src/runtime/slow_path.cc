@@ -78,6 +78,73 @@ SlowPathChecker::check(const std::vector<uint8_t> &packets) const
     auto window =
         decode::decodeRecentTips(packets.data(), packets.size(),
                                  slow_window_tips, nullptr);
+
+    // --- dynamic-code pre-scan ------------------------------------------
+    // Classify the window's TIP endpoints before committing to the
+    // full decode: stale ranges convict precisely, and JIT-touching
+    // windows cannot be instruction-walked (no image of JIT code), so
+    // they fall back to a packet-level ITC membership check.
+    if (_map) {
+        const auto transitions = decode::extractTipTransitions(window);
+        bool jit_seen = false;
+        for (const auto &transition : transitions) {
+            const auto to_class = _map->classify(transition.to).cls;
+            auto from_class = dynamic::AddrClass::LiveModule;
+            if (transition.from != 0)
+                from_class = _map->classify(transition.from).cls;
+            if (to_class == dynamic::AddrClass::StaleModule ||
+                from_class == dynamic::AddrClass::StaleModule) {
+                result.verdict = CheckVerdict::Violation;
+                result.violatingSource = transition.from;
+                result.violatingTarget = transition.to;
+                result.staleHit = true;
+                result.reason =
+                    "transition into unloaded module's stale range";
+                return result;
+            }
+            if (to_class == dynamic::AddrClass::JitRegion ||
+                from_class == dynamic::AddrClass::JitRegion) {
+                if (_jitPolicy == dynamic::JitPolicy::Deny) {
+                    result.verdict = CheckVerdict::Violation;
+                    result.violatingSource = transition.from;
+                    result.violatingTarget = transition.to;
+                    result.reason = "JIT code under JitPolicy::Deny";
+                    return result;
+                }
+                jit_seen = true;
+            }
+        }
+        if (jit_seen && _itc) {
+            result.degraded = true;
+            for (const auto &transition : transitions) {
+                if (transition.from == 0)
+                    continue;
+                const bool waived =
+                    _map->classify(transition.to).cls !=
+                        dynamic::AddrClass::LiveModule ||
+                    _map->classify(transition.from).cls !=
+                        dynamic::AddrClass::LiveModule;
+                if (waived)
+                    continue;
+                ++result.branchesChecked;
+                if (_account)
+                    _account->check += cpu::cost::check_per_edge;
+                const int64_t edge =
+                    _itc->findEdge(transition.from, transition.to);
+                if (edge < 0 || !_itc->edgeLive(edge)) {
+                    result.verdict = CheckVerdict::Violation;
+                    result.violatingSource = transition.from;
+                    result.violatingTarget = transition.to;
+                    result.reason =
+                        "jit window: packet-level edge missing";
+                    return result;
+                }
+            }
+            result.reason = "jit window: packet-level check";
+            return result;
+        }
+    }
+
     auto flow = decode::decodeInstructionFlow(
         _ocfg.program(), packets.data() + window.startOffset,
         packets.size() - static_cast<size_t>(window.startOffset),

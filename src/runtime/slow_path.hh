@@ -43,6 +43,10 @@ struct SlowPathResult
     uint64_t traceGaps = 0;
     /** Undecodable bytes skipped while resynchronizing. */
     uint64_t bytesSkipped = 0;
+    /** Window entered JIT code: packet-level degraded check used. */
+    bool degraded = false;
+    /** Violation was a stale-range (unloaded module) TIP. */
+    bool staleHit = false;
 };
 
 class SlowPathChecker
@@ -55,6 +59,23 @@ class SlowPathChecker
     /** Full-decodes and checks a ToPA snapshot. */
     SlowPathResult check(const std::vector<uint8_t> &packets) const;
 
+    /**
+     * Attaches the dynamic-code view. Windows containing stale-range
+     * TIPs convict precisely; windows that entered JIT code cannot be
+     * full-decoded (we have no image of JIT instructions), so they
+     * degrade to a packet-level ITC membership check of the non-JIT
+     * transitions against `itc` — documented, counted degradation
+     * rather than a false desync conviction.
+     */
+    void
+    setDynamic(const dynamic::ModuleMap *map, dynamic::JitPolicy policy,
+               const analysis::ItcCfg *itc)
+    {
+        _map = map;
+        _jitPolicy = policy;
+        _itc = itc;
+    }
+
   private:
     bool returnAllowedByCfg(uint64_t source, uint64_t target) const;
     bool indirectJumpAllowed(uint64_t source, uint64_t target) const;
@@ -63,6 +84,9 @@ class SlowPathChecker
     const analysis::Cfg &_ocfg;
     const analysis::TypeArmorInfo &_ta;
     cpu::CycleAccount *_account;
+    const dynamic::ModuleMap *_map = nullptr;
+    dynamic::JitPolicy _jitPolicy = dynamic::JitPolicy::Allowlist;
+    const analysis::ItcCfg *_itc = nullptr;
 };
 
 } // namespace flowguard::runtime

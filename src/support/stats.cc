@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iomanip>
+#include <locale>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -163,6 +165,192 @@ TablePrinter::fmt(double value, int precision)
     std::ostringstream oss;
     oss << std::fixed << std::setprecision(precision) << value;
     return oss.str();
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+JsonWriter::raw(const std::string &text)
+{
+    _out += text;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (_stack.empty()) {
+        fg_assert(_out.empty(), "only one top-level JSON value");
+        return;
+    }
+    if (_stack.back() == '{') {
+        fg_assert(_haveKey, "object values need a key()");
+        _haveKey = false;
+        return;
+    }
+    if (_needComma.back())
+        raw(",");
+    _needComma.back() = true;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    fg_assert(!_stack.empty() && _stack.back() == '{',
+              "key() outside an object");
+    fg_assert(!_haveKey, "key() already pending");
+    if (_needComma.back())
+        raw(",");
+    _needComma.back() = true;
+    raw("\"" + jsonEscape(name) + "\":");
+    _haveKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    raw("{");
+    _stack.push_back('{');
+    _needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    fg_assert(!_stack.empty() && _stack.back() == '{',
+              "endObject() with no open object");
+    fg_assert(!_haveKey, "dangling key()");
+    _stack.pop_back();
+    _needComma.pop_back();
+    raw("}");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    raw("[");
+    _stack.push_back('[');
+    _needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    fg_assert(!_stack.empty() && _stack.back() == '[',
+              "endArray() with no open array");
+    _stack.pop_back();
+    _needComma.pop_back();
+    raw("]");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    beforeValue();
+    raw("\"" + jsonEscape(text) + "\"");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    beforeValue();
+    if (!std::isfinite(number)) {
+        raw("null");    // JSON has no Inf/NaN
+        return *this;
+    }
+    std::ostringstream oss;
+    oss.imbue(std::locale::classic());
+    oss << std::setprecision(12) << number;
+    raw(oss.str());
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t number)
+{
+    beforeValue();
+    raw(std::to_string(number));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t number)
+{
+    beforeValue();
+    raw(std::to_string(number));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    raw(flag ? "true" : "false");
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    fg_assert(_stack.empty(), "unclosed JSON container");
+    return _out;
+}
+
+void
+JsonWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    fg_assert(out.good(), "cannot open JSON output file");
+    out << str() << "\n";
+    fg_assert(out.good(), "JSON write failed");
 }
 
 } // namespace flowguard

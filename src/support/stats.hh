@@ -98,6 +98,59 @@ class TablePrinter
     std::vector<std::vector<std::string>> _rows;
 };
 
+/**
+ * Minimal streaming JSON writer for the benchmark artifacts
+ * (BENCH_*.json): nested objects/arrays, string escaping, and
+ * locale-independent number formatting. Not a parser, not validating
+ * beyond nesting sanity — just enough to emit machine-readable
+ * benchmark results without an external dependency.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Names the next value inside an object. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(uint64_t number);
+    JsonWriter &value(int64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** The document; all containers must be closed. */
+    std::string str() const;
+
+    /** Renders to `path`; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    void beforeValue();
+    void raw(const std::string &text);
+
+    std::string _out;
+    /** One char per open container: '{' or '['. */
+    std::vector<char> _stack;
+    /** Whether the next value at each level needs a leading comma. */
+    std::vector<bool> _needComma;
+    bool _haveKey = false;
+};
+
 } // namespace flowguard
 
 #endif // FLOWGUARD_SUPPORT_STATS_HH

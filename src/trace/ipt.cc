@@ -185,6 +185,16 @@ IptEncoder::flushTnt()
 }
 
 void
+IptEncoder::restartStream()
+{
+    _tntBits = 0;
+    _tntCount = 0;
+    _lastIp = 0;
+    _bytesSincePsb = 0;
+    _started = false;   // next packet re-opens with a PSB (maybePsb)
+}
+
+void
 IptEncoder::reconfigureCr3(uint64_t cr3)
 {
     _config.cr3Match = cr3;

@@ -169,6 +169,15 @@ class IptEncoder : public cpu::TraceSink
     void flushTnt();
 
     /**
+     * Resets the packet stream state (IP compression history, TNT
+     * buffer, PSB phase) so the next packet opens with a fresh PSB.
+     * The kernel calls this after draining + clearing the ToPA at a
+     * code-unload barrier: post-barrier windows must be decodable in
+     * isolation and can then only contain post-unload TIPs.
+     */
+    void restartStream();
+
+    /**
      * Rewrites the single CR3 match register, as a kernel must on a
      * context switch when several processes share one filter; charges
      * the reconfiguration cost (an MSR write with tracing quiesced).

@@ -109,6 +109,82 @@ emitFillers(ModuleBuilder &mod, Rng &rng, size_t count,
     }
 }
 
+/**
+ * The dlopen/dlclose/jit wrappers live in their own tiny library —
+ * not in libc — so adding dynamic-code support does not change the
+ * fingerprint or layout of every existing workload's libc.
+ */
+Module
+buildLibDl()
+{
+    ModuleBuilder lib("libdl", ModuleKind::SharedLib);
+    lib.function("dl_open");
+    lib.syscall(static_cast<int64_t>(Syscall::DlOpen));
+    lib.ret();
+    lib.function("dl_close");
+    lib.syscall(static_cast<int64_t>(Syscall::DlClose));
+    lib.ret();
+    lib.function("jit_map");
+    lib.syscall(static_cast<int64_t>(Syscall::JitMap));
+    lib.ret();
+    lib.function("jit_unmap");
+    lib.syscall(static_cast<int64_t>(Syscall::JitUnmap));
+    lib.ret();
+    return lib.build();
+}
+
+/**
+ * One plugin: a SharedLib exporting plug<k>_h<j> handlers. Each
+ * handler mixes payload words through a work loop, calls a local
+ * (non-exported) leaf, and finishes with checksum() through the PLT —
+ * the cross-module edge the dynamic guard must stitch at load time.
+ */
+Module
+buildPlugin(size_t k, const PluginServerSpec &spec, Rng &rng)
+{
+    ModuleBuilder lib("plugin" + std::to_string(k),
+                      ModuleKind::SharedLib);
+    lib.needs("libc");
+
+    lib.function("plug" + std::to_string(k) + "_leaf",
+                 /*exported=*/false);
+    lib.movReg(9, 0);
+    lib.aluImm(AluOp::Xor, 9,
+               static_cast<int64_t>(0x51 + 7 * k));
+    lib.movReg(0, 9);
+    lib.ret();
+
+    for (size_t j = 0; j < spec.handlersPerPlugin; ++j) {
+        lib.function("plug" + std::to_string(k) + "_h" +
+                     std::to_string(j));
+        // handler(buf=r0, len=r1)
+        lib.movReg(12, 0);              // preserve buf
+        lib.movImm(6, 0);
+        lib.label("pl_loop");
+        lib.cmpImm(6, static_cast<int64_t>(spec.workPerCall));
+        lib.jcc(Cond::Ge, "pl_done");
+        lib.movReg(7, 6);
+        lib.aluImm(AluOp::And, 7, 0x0F);
+        lib.aluImm(AluOp::Shl, 7, 3);
+        lib.movReg(8, 12);
+        lib.alu(AluOp::Add, 8, 7);
+        lib.load(9, 8, 0);
+        lib.alu(AluOp::Xor, 10, 9);
+        emitCond(lib, rng, "pl_skip");
+        lib.movReg(0, 9);
+        lib.call("plug" + std::to_string(k) + "_leaf");
+        lib.alu(AluOp::Add, 10, 0);
+        lib.aluImm(AluOp::Add, 6, 1);
+        lib.jmp("pl_loop");
+        lib.label("pl_done");
+        lib.movReg(0, 12);
+        lib.movImm(1, 4);
+        lib.callExt("checksum");        // plugin -> libc PLT edge
+        lib.ret();
+    }
+    return lib.build();
+}
+
 } // namespace
 
 SyntheticApp
@@ -349,7 +425,167 @@ buildServerApp(const ServerSpec &spec)
         .addLibrary(buildLibc())
         .addVdso(buildVdso())
         .cr3(spec.cr3)
+        .layout(spec.layout)
         .link();
+    return app;
+}
+
+SyntheticApp
+buildPluginServerApp(const PluginServerSpec &spec)
+{
+    fg_assert(spec.numPlugins >= 1, "plugin server needs plugins");
+    fg_assert(spec.handlersPerPlugin >= 1,
+              "plugins need exported handlers");
+    fg_assert(spec.numPlugins < plugin_cmd_local,
+              "plugin commands collide with the local command");
+    Rng rng(spec.seed);
+
+    ModuleBuilder exe(spec.name, ModuleKind::Executable);
+    for (size_t k = 0; k < spec.numPlugins; ++k)
+        exe.needs("plugin" + std::to_string(k));
+    exe.needs("libdl");
+    exe.needs("libc");
+
+    // --- local (always-resident) handler ---------------------------------
+    exe.function("local_cmd", /*exported=*/false);
+    exe.movReg(12, 0);
+    exe.movImm(6, 0);
+    exe.label("lc_loop");
+    exe.cmpImm(6, static_cast<int64_t>(spec.workPerCall));
+    exe.jcc(Cond::Ge, "lc_done");
+    emitAluMix(exe, rng, 2);
+    exe.aluImm(AluOp::Add, 6, 1);
+    exe.jmp("lc_loop");
+    exe.label("lc_done");
+    exe.movReg(0, 12);
+    exe.movImm(1, 4);
+    exe.callExt("checksum");
+    exe.ret();
+
+    if (spec.implantVuln) {
+        // Same implanted bug as the static servers: an unbounded
+        // strcpy into a 3-word stack buffer (§7.1.2).
+        exe.function("vuln_cmd", /*exported=*/false);
+        exe.aluImm(AluOp::Sub, sp_reg,
+                   static_cast<int64_t>(8 * vuln_buffer_words));
+        exe.movReg(1, 0);
+        exe.aluImm(AluOp::Add, 1, 8);   // src: payload words
+        exe.movReg(0, sp_reg);          // dst: stack buffer
+        exe.callExt("strcpy_w");
+        exe.aluImm(AluOp::Add, sp_reg,
+                   static_cast<int64_t>(8 * vuln_buffer_words));
+        exe.ret();
+    }
+
+    // --- request entry ----------------------------------------------------
+    // cmd byte 0 selects: a plugin (dlopen, dispatch through
+    // plugin_table, dlclose), the local handler, or (implanted) the
+    // vulnerable handler. Byte 1 picks the handler within the plugin.
+    exe.function("handle_request", /*exported=*/false);
+    exe.load(3, 0, 0);
+    exe.movReg(4, 3);
+    exe.aluImm(AluOp::Shr, 4, 8);
+    exe.aluImm(AluOp::And, 4, 0xFF);    // r4 = handler byte
+    exe.aluImm(AluOp::And, 3, 0xFF);    // r3 = command byte
+    exe.cmpImm(3, static_cast<int64_t>(spec.numPlugins));
+    exe.jcc(Cond::Lt, "hq_plugin");
+    exe.cmpImm(3, static_cast<int64_t>(plugin_cmd_local));
+    exe.jcc(Cond::Eq, "hq_local");
+    if (spec.implantVuln) {
+        exe.cmpImm(3, static_cast<int64_t>(plugin_cmd_vuln));
+        exe.jcc(Cond::Eq, "hq_vuln");
+    }
+    exe.ret();                          // unknown command: drop
+
+    exe.label("hq_plugin");
+    exe.movReg(12, 0);                  // preserve buf
+    exe.movReg(11, 3);                  // preserve command
+    // dlopen(moduleIndex): plugin k is module 1 + k (exec is 0).
+    exe.movReg(0, 3);
+    exe.aluImm(AluOp::Add, 0, 1);
+    exe.callExt("dl_open");
+    exe.cmpImm(4, static_cast<int64_t>(spec.handlersPerPlugin));
+    exe.jcc(Cond::Lt, "hq_hok");
+    exe.movImm(4, 0);
+    exe.label("hq_hok");
+    exe.movReg(5, 11);
+    exe.aluImm(AluOp::Mul, 5,
+               static_cast<int64_t>(spec.handlersPerPlugin));
+    exe.alu(AluOp::Add, 5, 4);
+    exe.aluImm(AluOp::Shl, 5, 3);
+    exe.movImmData(6, "plugin_table");
+    exe.alu(AluOp::Add, 6, 5);
+    exe.load(6, 6, 0);
+    exe.movReg(0, 12);
+    exe.movImm(1, static_cast<int64_t>(request_size));
+    exe.callInd(6);                     // plug<k>_h<j>(buf, len)
+    exe.movReg(0, 11);
+    exe.aluImm(AluOp::Add, 0, 1);
+    exe.callExt("dl_close");
+    exe.ret();
+
+    exe.label("hq_local");
+    exe.call("local_cmd");
+    exe.ret();
+
+    if (spec.implantVuln) {
+        exe.label("hq_vuln");
+        exe.call("vuln_cmd");
+        exe.ret();
+    }
+
+    // --- main: the usual accept/recv/handle/write loop -------------------
+    exe.function("main");
+    exe.callExt("sys_socket");
+    exe.aluImm(AluOp::Sub, sp_reg, 512);
+    exe.movReg(13, sp_reg);             // request buffer base
+    exe.label("accept_loop");
+    exe.callExt("sys_accept");
+    exe.cmpImm(0, 0);
+    exe.jcc(Cond::Eq, "srv_done");
+    exe.movImm(0, conn_fd);
+    exe.movReg(1, 13);
+    exe.movImm(2, static_cast<int64_t>(request_size));
+    exe.callExt("recv_buf");
+    exe.cmpImm(0, 0);
+    exe.jcc(Cond::Eq, "srv_done");
+    exe.movReg(0, 13);
+    exe.call("handle_request");
+    exe.movImm(0, conn_fd);
+    exe.movReg(1, 13);
+    exe.movImm(2, 16);
+    exe.callExt("write_buf");   // response via write(): an endpoint
+    exe.jmp("accept_loop");
+    exe.label("srv_done");
+    exe.movImm(0, 0);
+    exe.callExt("sys_exit");
+    exe.halt();
+
+    // --- filler bulk + the imported-handler dispatch table ----------------
+    emitFillers(exe, rng, spec.numFillerFuncs, "filler_p");
+
+    std::vector<std::string> plugin_handlers;
+    for (size_t k = 0; k < spec.numPlugins; ++k)
+        for (size_t j = 0; j < spec.handlersPerPlugin; ++j)
+            plugin_handlers.push_back("plug" + std::to_string(k) +
+                                      "_h" + std::to_string(j));
+    exe.funcPtrTable("plugin_table", plugin_handlers,
+                     /*exported=*/false);
+
+    Loader loader;
+    loader.addExecutable(exe.build());
+    for (size_t k = 0; k < spec.numPlugins; ++k)
+        loader.addLibrary(buildPlugin(k, spec, rng));
+    loader.addLibrary(buildLibDl());
+    loader.addLibrary(buildLibc());
+    loader.addVdso(buildVdso());
+
+    SyntheticApp app;
+    app.name = spec.name;
+    app.program =
+        loader.cr3(spec.cr3).layout(spec.layout).link();
+    for (size_t k = 0; k < spec.numPlugins; ++k)
+        app.dynamicModules.push_back(static_cast<uint32_t>(1 + k));
     return app;
 }
 
@@ -739,6 +975,51 @@ makeBenignStream(size_t requests, uint64_t seed, size_t num_handlers,
         auto request = makeRequest(
             static_cast<uint8_t>(rng.below(num_handlers)),
             static_cast<uint8_t>(rng.below(num_states)), payload);
+        stream.insert(stream.end(), request.begin(), request.end());
+    }
+    return stream;
+}
+
+std::vector<uint8_t>
+makePluginRequest(uint8_t cmd, uint8_t handler,
+                  const std::vector<uint64_t> &payload)
+{
+    std::vector<uint8_t> request(request_size, 0);
+    request[0] = cmd;
+    request[1] = handler;
+    size_t offset = 8;
+    for (uint64_t word : payload) {
+        if (offset + 8 > request_size)
+            break;
+        for (int b = 0; b < 8; ++b)
+            request[offset + static_cast<size_t>(b)] =
+                static_cast<uint8_t>(word >> (8 * b));
+        offset += 8;
+    }
+    return request;
+}
+
+std::vector<uint8_t>
+makePluginStream(size_t requests, uint64_t seed,
+                 const PluginServerSpec &spec)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> stream;
+    stream.reserve(requests * request_size);
+    for (size_t i = 0; i < requests; ++i) {
+        std::vector<uint64_t> payload;
+        const size_t words = rng.below(3);
+        for (size_t w = 0; w < words; ++w)
+            payload.push_back(rng.range(1, 250));
+        payload.push_back(0);
+        uint8_t cmd = plugin_cmd_local;
+        uint8_t handler = 0;
+        if (rng.chance(0.8)) {          // a dlopen/dlclose cycle
+            cmd = static_cast<uint8_t>(rng.below(spec.numPlugins));
+            handler = static_cast<uint8_t>(
+                rng.below(spec.handlersPerPlugin));
+        }
+        auto request = makePluginRequest(cmd, handler, payload);
         stream.insert(stream.end(), request.begin(), request.end());
     }
     return stream;

@@ -25,6 +25,7 @@
 
 #include "cpu/basic_kernel.hh"
 #include "cpu/cpu.hh"
+#include "isa/loader.hh"
 #include "isa/program.hh"
 
 namespace flowguard::workloads {
@@ -52,6 +53,35 @@ struct ServerSpec
     bool implantVuln = false;       ///< handler 0 uses strcpy_w
     uint64_t seed = 1;
     uint64_t cr3 = 0x1000;
+    /** Address-space layout (fixed by default; ASLR when
+     *  randomized). */
+    isa::LayoutPolicy layout;
+};
+
+/** Command byte of the plugin server's non-plugin local handler. */
+constexpr uint8_t plugin_cmd_local = 0xF0;
+/** Command byte of the implanted vulnerable handler (implantVuln). */
+constexpr uint8_t plugin_cmd_vuln = 0xFE;
+
+/**
+ * A server whose request handlers live in dynamically loaded plugin
+ * modules: each plugin command dlopens the plugin, dispatches
+ * indirectly into one of its exported handlers (which call back into
+ * libc through the PLT — the cross-module edges the dynamic guard
+ * must stitch at event time), and dlcloses it again. The dynamic-code
+ * churn workload for src/dynamic.
+ */
+struct PluginServerSpec
+{
+    std::string name = "plugsrv";
+    size_t numPlugins = 2;          ///< SharedLib plugin modules
+    size_t handlersPerPlugin = 2;   ///< exported plug<k>_h<j> entries
+    size_t workPerCall = 16;        ///< plugin handler loop length
+    size_t numFillerFuncs = 24;     ///< CFG bulk in the executable
+    bool implantVuln = false;       ///< 0xFE command uses strcpy_w
+    uint64_t seed = 7;
+    uint64_t cr3 = 0x5000;
+    isa::LayoutPolicy layout;
 };
 
 enum class UtilityKind { Tar, Dd, Make, Scp };
@@ -83,9 +113,13 @@ struct SyntheticApp
 {
     std::string name;
     isa::Program program;
+    /** Module indices that come and go at runtime (plugins); feed
+     *  these to FlowGuardConfig::dynamicModules. */
+    std::vector<uint32_t> dynamicModules;
 };
 
 SyntheticApp buildServerApp(const ServerSpec &spec);
+SyntheticApp buildPluginServerApp(const PluginServerSpec &spec);
 SyntheticApp buildUtilityApp(const UtilitySpec &spec);
 SyntheticApp buildSpecKernel(const SpecKernelSpec &spec);
 
@@ -108,6 +142,17 @@ std::vector<uint8_t> makeRequest(uint8_t handler, uint8_t state,
 std::vector<uint8_t> makeBenignStream(size_t requests, uint64_t seed,
                                       size_t num_handlers,
                                       size_t num_states);
+
+/** One plugin-server request: command byte, handler byte, payload
+ *  words from offset 8 (zero-padded, zero-terminated). */
+std::vector<uint8_t> makePluginRequest(
+    uint8_t cmd, uint8_t handler,
+    const std::vector<uint64_t> &payload);
+
+/** Benign plugin-churn stream: seeded mix of plugin commands (each
+ *  one a dlopen / dispatch / dlclose cycle) and local commands. */
+std::vector<uint8_t> makePluginStream(size_t requests, uint64_t seed,
+                                      const PluginServerSpec &spec);
 
 /** Outcome of one driven execution. */
 struct RunResult

@@ -224,6 +224,68 @@ TEST(Loader, ProgramQueries)
     EXPECT_FALSE(prog.instIndexAt(main_addr + 1).has_value());
 }
 
+TEST(Loader, RandomizedLayoutSlidesModulesDeterministically)
+{
+    auto build = [](LayoutPolicy policy) {
+        return Loader()
+            .addExecutable(tinyExe("helper"))
+            .addLibrary(tinyLib("lib1", "helper", 1))
+            .addLibrary(tinyLib("lib2", "other", 2))
+            .layout(policy)
+            .link();
+    };
+    Program fixed = build(LayoutPolicy::fixed());
+    Program slid = build(LayoutPolicy::randomized(7));
+    Program slid_again = build(LayoutPolicy::randomized(7));
+    Program other_seed = build(LayoutPolicy::randomized(8));
+
+    const LayoutPolicy defaults;
+    bool moved = false, seed_differs = false;
+    for (size_t m = 0; m < fixed.modules().size(); ++m) {
+        const uint64_t base = slid.modules()[m].codeBase;
+        // Same seed, same layout — byte-for-byte reproducible.
+        EXPECT_EQ(base, slid_again.modules()[m].codeBase);
+        // Slides are page-aligned and bounded so arenas stay disjoint.
+        EXPECT_EQ(base % layout::page, 0u);
+        const uint64_t ref = fixed.modules()[m].codeBase;
+        const uint64_t slide = base >= ref ? base - ref : ref - base;
+        EXPECT_LE(slide, defaults.maxSlidePages * layout::page);
+        moved |= base != ref;
+        seed_differs |= base != other_seed.modules()[m].codeBase;
+    }
+    EXPECT_TRUE(moved);
+    EXPECT_TRUE(seed_differs);
+}
+
+TEST(Loader, FingerprintIsRelocationInvariant)
+{
+    auto build = [](LayoutPolicy policy, int64_t distinguisher) {
+        return Loader()
+            .addExecutable(tinyExe("helper"))
+            .addLibrary(tinyLib("lib", "helper", distinguisher))
+            .layout(policy)
+            .link();
+    };
+    Program fixed = build(LayoutPolicy::fixed(), 1);
+    Program slid = build(LayoutPolicy::randomized(3), 1);
+    Program patched = build(LayoutPolicy::fixed(), 2);
+
+    // Same code under a different base: identical fingerprints (the
+    // per-module profile sections depend on this).
+    for (size_t m = 0; m < fixed.modules().size(); ++m)
+        EXPECT_EQ(fixed.modules()[m].fingerprint,
+                  slid.modules()[m].fingerprint)
+            << fixed.modules()[m].name;
+    EXPECT_NE(fixed.modules()[0].fingerprint, 0u);
+
+    // One changed instruction changes that module's fingerprint, and
+    // only that module's.
+    EXPECT_NE(fixed.modules()[1].fingerprint,
+              patched.modules()[1].fingerprint);
+    EXPECT_EQ(fixed.modules()[0].fingerprint,
+              patched.modules()[0].fingerprint);
+}
+
 TEST(Loader, DoubleExecutableIsRejected)
 {
     Loader loader;

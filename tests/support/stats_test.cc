@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
 #include "support/logging.hh"
 #include "support/stats.hh"
 
@@ -71,6 +75,84 @@ TEST(TablePrinter, FmtPrecision)
     EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
     EXPECT_EQ(TablePrinter::fmt(3.14159, 0), "3");
     EXPECT_EQ(TablePrinter::fmt(10.0, 1), "10.0");
+}
+
+TEST(JsonWriter, NestedDocument)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("name", "bench")
+        .field("count", static_cast<uint64_t>(3))
+        .key("items")
+        .beginArray()
+        .value(1)
+        .value(2.5)
+        .value(true)
+        .endArray()
+        .key("inner")
+        .beginObject()
+        .field("ok", false)
+        .endObject()
+        .endObject();
+    EXPECT_EQ(json.str(),
+              "{\"name\":\"bench\",\"count\":3,"
+              "\"items\":[1,2.5,true],\"inner\":{\"ok\":false}}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    JsonWriter json;
+    json.value(std::string("a\"b\\c\nd\x01"));
+    EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    JsonWriter json;
+    json.beginArray()
+        .value(std::numeric_limits<double>::infinity())
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(0.25)
+        .endArray();
+    EXPECT_EQ(json.str(), "[null,null,0.25]");
+}
+
+TEST(JsonWriter, MisuseIsFatal)
+{
+    {
+        JsonWriter json;
+        json.beginObject();
+        EXPECT_THROW(json.str(), SimError);     // unclosed container
+    }
+    {
+        JsonWriter json;
+        EXPECT_THROW(json.key("x"), SimError);  // key outside object
+    }
+    {
+        JsonWriter json;
+        json.beginObject();
+        EXPECT_THROW(json.value(1), SimError);  // value without key
+    }
+    {
+        JsonWriter json;
+        json.beginObject();
+        EXPECT_THROW(json.endArray(), SimError);    // mismatched end
+    }
+}
+
+TEST(JsonWriter, WritesFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "flowguard_json_writer_test.json";
+    JsonWriter json;
+    json.beginObject().field("answer", 42).endObject();
+    json.writeFile(path);
+
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, "{\"answer\":42}\n");
+    std::remove(path.c_str());
 }
 
 } // namespace
