@@ -277,6 +277,26 @@ ItcCfg::revokeRuntimeCreditsInRange(uint64_t begin, uint64_t end)
     return dropped;
 }
 
+size_t
+ItcCfg::clearRuntimeCredits()
+{
+    size_t dropped = 0;
+    for (auto &credit : _runtimeCredit) {
+        dropped += credit != 0;
+        credit = 0;
+    }
+    return dropped;
+}
+
+size_t
+ItcCfg::runtimeCreditCount() const
+{
+    size_t count = 0;
+    for (const auto &credit : _runtimeCredit)
+        count += credit != 0;
+    return count;
+}
+
 void
 ItcCfg::enableLiveness()
 {

@@ -94,6 +94,17 @@ class ItcCfg
      *  returns how many credits were revoked. */
     size_t revokeRuntimeCreditsInRange(uint64_t begin, uint64_t end);
 
+    /**
+     * Drops ALL runtime credit; returns how many edges lost it.
+     * This is what a checker crash does to the online-learned state:
+     * the bitmap lived in the dead process, and a warm restart must
+     * rebuild it from the journal (or accept the cold-start cost).
+     */
+    size_t clearRuntimeCredits();
+
+    /** Edges currently carrying runtime (verdict-cache) credit. */
+    size_t runtimeCreditCount() const;
+
     // --- liveness (dynamic code) --------------------------------------------
     /** Cost accounting for one incremental range operation. */
     struct RangeUpdate

@@ -3,13 +3,20 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "core/profile_wire.hh"
+#include "support/fsio.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
 namespace flowguard {
 
 namespace {
+
+using wire::Reader;
+using wire::write64;
+using wire::writeString;
 
 constexpr uint32_t profile_magic = 0x46475046;   // "FGPF"
 constexpr uint32_t profile_version_v2 = 2;
@@ -19,67 +26,18 @@ constexpr uint32_t profile_version_v3 = 3;
  *  module-relative (an endpoint outside every module's code range). */
 constexpr uint64_t module_absolute = ~0ULL;
 
+/** Renders via the stream writer, then lands atomically: the final
+ *  path never holds a torn profile, whatever kills the writer. */
+template <typename SaveFn>
 void
-write64(std::ostream &out, uint64_t value)
+saveAtomically(const SaveFn &save, const FlowGuard &guard,
+               const std::string &path)
 {
-    for (int i = 0; i < 8; ++i)
-        out.put(static_cast<char>(value >> (8 * i)));
+    std::ostringstream out(std::ios::binary);
+    save(guard, out);
+    if (!writeFileAtomic(path, out.str()))
+        fg_fatal("cannot write profile to ", path);
 }
-
-void
-writeString(std::ostream &out, const std::string &s)
-{
-    write64(out, s.size());
-    out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-/** Bounded reader that records truncation instead of aborting. */
-struct Reader
-{
-    std::istream &in;
-    bool truncated = false;
-
-    uint64_t
-    u64()
-    {
-        uint64_t value = 0;
-        for (int i = 0; i < 8; ++i) {
-            const int byte = in.get();
-            if (byte < 0) {
-                truncated = true;
-                return 0;
-            }
-            value |= static_cast<uint64_t>(byte) << (8 * i);
-        }
-        return value;
-    }
-
-    uint8_t
-    u8()
-    {
-        const int byte = in.get();
-        if (byte < 0) {
-            truncated = true;
-            return 0;
-        }
-        return static_cast<uint8_t>(byte);
-    }
-
-    std::string
-    str()
-    {
-        const uint64_t len = u64();
-        if (truncated || len > (1ULL << 20)) {
-            truncated = true;
-            return {};
-        }
-        std::string s(len, '\0');
-        in.read(s.data(), static_cast<std::streamsize>(len));
-        if (static_cast<uint64_t>(in.gcount()) != len)
-            truncated = true;
-        return s;
-    }
-};
 
 /** Mixes a value into a running hash. */
 void
@@ -214,6 +172,7 @@ profileStatusName(ProfileLoadResult::Status status)
       case Status::ShapeMismatch: return "shape-mismatch";
       case Status::Truncated: return "truncated";
       case Status::ModuleMismatch: return "module-mismatch";
+      case Status::BadChecksum: return "bad-checksum";
     }
     return "?";
 }
@@ -276,10 +235,11 @@ saveProfileV2(const FlowGuard &guard, std::ostream &out)
 void
 saveProfileV2(const FlowGuard &guard, const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fg_fatal("cannot write profile to ", path);
-    saveProfileV2(guard, out);
+    saveAtomically(
+        [](const FlowGuard &g, std::ostream &o) {
+            saveProfileV2(g, o);
+        },
+        guard, path);
 }
 
 void
@@ -350,10 +310,11 @@ saveProfile(const FlowGuard &guard, std::ostream &out)
 void
 saveProfile(const FlowGuard &guard, const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fg_fatal("cannot write profile to ", path);
-    saveProfile(guard, out);
+    saveAtomically(
+        [](const FlowGuard &g, std::ostream &o) {
+            saveProfile(g, o);
+        },
+        guard, path);
 }
 
 namespace {

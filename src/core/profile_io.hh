@@ -53,6 +53,9 @@ struct ProfileLoadResult
         ShapeMismatch,          ///< v2: ITC-CFG shape differs
         Truncated,              ///< stream ended mid-record
         ModuleMismatch,         ///< v3: no module section applied
+        /** A CRC-framed structure (recovery snapshot) failed its
+         *  checksum: bytes are present but cannot be trusted. */
+        BadChecksum,
     };
 
     Status status = Status::Ok;
@@ -71,7 +74,9 @@ struct ProfileLoadResult
 const char *profileStatusName(ProfileLoadResult::Status status);
 
 /** Writes the guard's training state (v3 format). Requires
- *  analyze(). */
+ *  analyze(). The path overloads land atomically (temp + rename):
+ *  a save that dies mid-write never leaves a torn file under the
+ *  final name. */
 void saveProfile(const FlowGuard &guard, std::ostream &out);
 void saveProfile(const FlowGuard &guard, const std::string &path);
 

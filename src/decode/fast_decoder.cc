@@ -172,6 +172,20 @@ decodeRecentTips(const std::vector<uint8_t> &data, size_t min_tips,
     return decodeRecentTips(data.data(), data.size(), min_tips, account);
 }
 
+size_t
+resyncOffset(const uint8_t *data, size_t size, size_t offset)
+{
+    if (offset >= size)
+        return SIZE_MAX;
+    return trace::findNextPsb(data, size, offset);
+}
+
+size_t
+resyncOffset(const std::vector<uint8_t> &data, size_t offset)
+{
+    return resyncOffset(data.data(), data.size(), offset);
+}
+
 std::vector<TipTransition>
 extractTipTransitions(const FastDecodeResult &flow)
 {

@@ -110,4 +110,16 @@ DynamicGuard::onCodeEvent(const cpu::CodeEvent &event)
     }
 }
 
+std::vector<std::pair<uint64_t, uint64_t>>
+DynamicGuard::retiredRanges() const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    for (size_t i = 0; i < _map.numModules(); ++i) {
+        const ModuleMap::Region &region = _map.region(i);
+        if (!region.live && region.end > region.base)
+            ranges.emplace_back(region.base, region.end);
+    }
+    return ranges;
+}
+
 } // namespace flowguard::dynamic

@@ -107,6 +107,16 @@ class DynamicGuard : public cpu::CodeEventSink
     JitPolicy policy() const { return _policy; }
     const DynamicStats &stats() const { return _stats; }
 
+    /**
+     * Address ranges of currently-unloaded modules — the kernel-side
+     * module truth that survives a checker crash. Crash recovery
+     * reconciles replayed runtime credit against these: a journal
+     * whose tail tore mid-append can be missing the final unload
+     * record, and credit replayed onto a retired range would
+     * resurrect exactly the stale-code credit an unload revokes.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> retiredRanges() const;
+
   private:
     void handleModuleLoad(size_t index);
     void handleModuleUnload(size_t index);

@@ -1,0 +1,293 @@
+#include "recovery/journal.hh"
+
+#include <cstring>
+
+#include "support/crc32.hh"
+
+namespace flowguard::recovery {
+
+namespace {
+
+// A frame's payload is bounded in practice by one CreditCommit worth
+// of transitions; anything claiming more than this is a corrupt
+// length field, not a real record.
+constexpr size_t max_payload = 1u << 24;
+
+void
+put8(std::vector<uint8_t> &out, uint8_t value)
+{
+    out.push_back(value);
+}
+
+void
+put32(std::vector<uint8_t> &out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+put64(std::vector<uint8_t> &out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    put64(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/** Bounded byte reader mirroring wire::Reader for raw buffers. */
+struct ByteReader
+{
+    const uint8_t *data;
+    size_t size;
+    size_t offset = 0;
+    bool truncated = false;
+
+    uint8_t
+    u8()
+    {
+        if (offset + 1 > size) {
+            truncated = true;
+            return 0;
+        }
+        return data[offset++];
+    }
+
+    uint32_t
+    u32()
+    {
+        if (offset + 4 > size) {
+            truncated = true;
+            return 0;
+        }
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i)
+            value |= static_cast<uint32_t>(data[offset++]) << (8 * i);
+        return value;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (offset + 8 > size) {
+            truncated = true;
+            return 0;
+        }
+        uint64_t value = 0;
+        for (int i = 0; i < 8; ++i)
+            value |= static_cast<uint64_t>(data[offset++]) << (8 * i);
+        return value;
+    }
+
+    std::string
+    str()
+    {
+        const uint64_t len = u64();
+        if (truncated || len > size - offset) {
+            truncated = true;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data + offset),
+                      len);
+        offset += len;
+        return s;
+    }
+};
+
+std::vector<uint8_t>
+encodePayload(const JournalRecord &record)
+{
+    std::vector<uint8_t> out;
+    put8(out, static_cast<uint8_t>(record.type));
+    put64(out, record.cr3);
+    switch (record.type) {
+      case RecordType::CreditCommit:
+        put64(out, record.transitions.size());
+        for (const auto &transition : record.transitions) {
+            put64(out, transition.from);
+            put64(out, transition.to);
+            put64(out, transition.tnt.size());
+            out.insert(out.end(), transition.tnt.begin(),
+                       transition.tnt.end());
+        }
+        break;
+      case RecordType::VerdictCommitted:
+        put64(out, record.seq);
+        put8(out, record.verdictKind);
+        put64(out, static_cast<uint64_t>(record.syscall));
+        put64(out, record.from);
+        put64(out, record.to);
+        putString(out, record.reason);
+        break;
+      case RecordType::VerdictDelivered:
+      case RecordType::EndpointSeq:
+        put64(out, record.seq);
+        break;
+      case RecordType::ModuleEvent:
+        put8(out, static_cast<uint8_t>(record.moduleKind));
+        put64(out, record.begin);
+        put64(out, record.end);
+        put64(out, record.newBase);
+        break;
+    }
+    return out;
+}
+
+/** Decodes one payload; false when malformed (truncated content or
+ *  unknown type — both impossible for frames whose CRC matched a
+ *  well-formed writer, so either means corruption). */
+bool
+decodePayload(const uint8_t *data, size_t size, JournalRecord &out)
+{
+    ByteReader in{data, size};
+    const uint8_t type = in.u8();
+    if (type < static_cast<uint8_t>(RecordType::CreditCommit) ||
+        type > static_cast<uint8_t>(RecordType::ModuleEvent))
+        return false;
+    out.type = static_cast<RecordType>(type);
+    out.cr3 = in.u64();
+    switch (out.type) {
+      case RecordType::CreditCommit: {
+        const uint64_t count = in.u64();
+        if (in.truncated || count > size)
+            return false;
+        out.transitions.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+            decode::TipTransition transition;
+            transition.from = in.u64();
+            transition.to = in.u64();
+            const uint64_t tnt_len = in.u64();
+            if (in.truncated || tnt_len > size - in.offset)
+                return false;
+            transition.tnt.assign(in.data + in.offset,
+                                  in.data + in.offset + tnt_len);
+            in.offset += tnt_len;
+            out.transitions.push_back(std::move(transition));
+        }
+        break;
+      }
+      case RecordType::VerdictCommitted:
+        out.seq = in.u64();
+        out.verdictKind = in.u8();
+        out.syscall = static_cast<int64_t>(in.u64());
+        out.from = in.u64();
+        out.to = in.u64();
+        out.reason = in.str();
+        break;
+      case RecordType::VerdictDelivered:
+      case RecordType::EndpointSeq:
+        out.seq = in.u64();
+        break;
+      case RecordType::ModuleEvent: {
+        const uint8_t kind = in.u8();
+        if (kind < static_cast<uint8_t>(ModuleEventKind::Load) ||
+            kind > static_cast<uint8_t>(ModuleEventKind::Rebase))
+            return false;
+        out.moduleKind = static_cast<ModuleEventKind>(kind);
+        out.begin = in.u64();
+        out.end = in.u64();
+        out.newBase = in.u64();
+        break;
+      }
+    }
+    return !in.truncated && in.offset == size;
+}
+
+} // namespace
+
+const char *
+recordTypeName(RecordType type)
+{
+    switch (type) {
+      case RecordType::CreditCommit: return "credit-commit";
+      case RecordType::VerdictCommitted: return "verdict-committed";
+      case RecordType::VerdictDelivered: return "verdict-delivered";
+      case RecordType::EndpointSeq: return "endpoint-seq";
+      case RecordType::ModuleEvent: return "module-event";
+    }
+    return "?";
+}
+
+void
+StateJournal::append(const JournalRecord &record)
+{
+    const std::vector<uint8_t> payload = encodePayload(record);
+    put32(_bytes, static_cast<uint32_t>(payload.size()));
+    put32(_bytes, crc32(payload.data(), payload.size()));
+    _bytes.insert(_bytes.end(), payload.begin(), payload.end());
+    ++_records;
+}
+
+void
+StateJournal::clear()
+{
+    _bytes.clear();
+    _records = 0;
+}
+
+void
+StateJournal::truncateTo(size_t size)
+{
+    if (size < _bytes.size())
+        _bytes.resize(size);
+}
+
+JournalReadResult
+readJournal(const uint8_t *data, size_t size)
+{
+    using Status = ProfileLoadResult::Status;
+    JournalReadResult result;
+    size_t offset = 0;
+    while (offset < size) {
+        if (size - offset < 8) {
+            // A torn header: the writer died before finishing the
+            // frame prefix.
+            result.status = Status::Truncated;
+            break;
+        }
+        uint32_t len = 0, crc = 0;
+        for (int i = 0; i < 4; ++i)
+            len |= static_cast<uint32_t>(data[offset + i]) << (8 * i);
+        for (int i = 0; i < 4; ++i)
+            crc |= static_cast<uint32_t>(data[offset + 4 + i])
+                << (8 * i);
+        if (len > max_payload) {
+            // No writer produces frames this large; the length field
+            // itself is corrupt.
+            result.status = Status::BadChecksum;
+            break;
+        }
+        if (len > size - offset - 8) {
+            result.status = Status::Truncated;
+            break;
+        }
+        const uint8_t *payload = data + offset + 8;
+        if (crc32(payload, len) != crc) {
+            result.status = Status::BadChecksum;
+            break;
+        }
+        JournalRecord record;
+        if (!decodePayload(payload, len, record)) {
+            result.status = Status::BadChecksum;
+            break;
+        }
+        result.records.push_back(std::move(record));
+        offset += 8 + len;
+        result.bytesConsumed = offset;
+    }
+    result.bytesDropped = size - result.bytesConsumed;
+    return result;
+}
+
+JournalReadResult
+readJournal(const std::vector<uint8_t> &bytes)
+{
+    return readJournal(bytes.data(), bytes.size());
+}
+
+} // namespace flowguard::recovery

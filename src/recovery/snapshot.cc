@@ -1,0 +1,295 @@
+#include "recovery/snapshot.hh"
+
+#include <algorithm>
+
+#include "support/crc32.hh"
+
+namespace flowguard::recovery {
+
+namespace {
+
+constexpr uint8_t snapshot_magic[8] = {'F', 'G', 'R', 'S',
+                                       'N', 'P', '0', '1'};
+
+void
+put32(std::vector<uint8_t> &out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+put64(std::vector<uint8_t> &out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    put64(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putTransitions(std::vector<uint8_t> &out,
+               const std::vector<decode::TipTransition> &transitions)
+{
+    put64(out, transitions.size());
+    for (const auto &transition : transitions) {
+        put64(out, transition.from);
+        put64(out, transition.to);
+        put64(out, transition.tnt.size());
+        out.insert(out.end(), transition.tnt.begin(),
+                   transition.tnt.end());
+    }
+}
+
+struct ByteReader
+{
+    const uint8_t *data;
+    size_t size;
+    size_t offset = 0;
+    bool truncated = false;
+
+    uint8_t
+    u8()
+    {
+        if (offset + 1 > size) {
+            truncated = true;
+            return 0;
+        }
+        return data[offset++];
+    }
+
+    uint64_t
+    u64()
+    {
+        if (offset + 8 > size) {
+            truncated = true;
+            return 0;
+        }
+        uint64_t value = 0;
+        for (int i = 0; i < 8; ++i)
+            value |= static_cast<uint64_t>(data[offset++]) << (8 * i);
+        return value;
+    }
+
+    std::string
+    str()
+    {
+        const uint64_t len = u64();
+        if (truncated || len > size - offset) {
+            truncated = true;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data + offset),
+                      len);
+        offset += len;
+        return s;
+    }
+
+    bool
+    transitions(std::vector<decode::TipTransition> &out)
+    {
+        const uint64_t count = u64();
+        if (truncated || count > size)
+            return false;
+        out.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+            decode::TipTransition transition;
+            transition.from = u64();
+            transition.to = u64();
+            const uint64_t tnt_len = u64();
+            if (truncated || tnt_len > size - offset)
+                return false;
+            transition.tnt.assign(data + offset,
+                                  data + offset + tnt_len);
+            offset += tnt_len;
+            out.push_back(std::move(transition));
+        }
+        return !truncated;
+    }
+};
+
+} // namespace
+
+void
+RecoveredState::apply(const JournalRecord &record)
+{
+    switch (record.type) {
+      case RecordType::CreditCommit: {
+        auto &credits = processes[record.cr3].credits;
+        credits.insert(credits.end(), record.transitions.begin(),
+                       record.transitions.end());
+        break;
+      }
+      case RecordType::VerdictCommitted:
+        if (delivered.count({record.cr3, record.seq})) {
+            // Already delivered in an earlier epoch; replaying it
+            // would kill the process twice for one verdict.
+            ++dedupDropped;
+            break;
+        }
+        undeliveredVerdicts.push_back(record);
+        break;
+      case RecordType::VerdictDelivered: {
+        delivered.insert({record.cr3, record.seq});
+        const auto matches = [&](const JournalRecord &pending) {
+            return pending.cr3 == record.cr3 &&
+                   pending.seq == record.seq;
+        };
+        const auto before = undeliveredVerdicts.size();
+        undeliveredVerdicts.erase(
+            std::remove_if(undeliveredVerdicts.begin(),
+                           undeliveredVerdicts.end(), matches),
+            undeliveredVerdicts.end());
+        dedupDropped += before - undeliveredVerdicts.size();
+        break;
+      }
+      case RecordType::EndpointSeq: {
+        uint64_t &high = processes[record.cr3].seqHighWater;
+        high = std::max(high, record.seq);
+        break;
+      }
+      case RecordType::ModuleEvent: {
+        if (record.moduleKind == ModuleEventKind::Load)
+            break;
+        // Unload or rebase: credit earned against the old mapping of
+        // [begin, end) must not survive the fold — mirroring what
+        // DynamicGuard's revocation did to the live bitmap.
+        auto it = processes.find(record.cr3);
+        if (it == processes.end())
+            break;
+        const auto touches = [&](const decode::TipTransition &t) {
+            const bool from_in =
+                t.from >= record.begin && t.from < record.end;
+            const bool to_in =
+                t.to >= record.begin && t.to < record.end;
+            return from_in || to_in;
+        };
+        auto &credits = it->second.credits;
+        credits.erase(std::remove_if(credits.begin(), credits.end(),
+                                     touches),
+                      credits.end());
+        break;
+      }
+    }
+}
+
+std::vector<uint8_t>
+serializeSnapshot(const RecoveredState &state)
+{
+    std::vector<uint8_t> body;
+    put64(body, state.processes.size());
+    for (const auto &entry : state.processes) {
+        put64(body, entry.first);
+        put64(body, entry.second.seqHighWater);
+        putTransitions(body, entry.second.credits);
+    }
+    put64(body, state.undeliveredVerdicts.size());
+    for (const auto &verdict : state.undeliveredVerdicts) {
+        put64(body, verdict.cr3);
+        put64(body, verdict.seq);
+        body.push_back(verdict.verdictKind);
+        put64(body, static_cast<uint64_t>(verdict.syscall));
+        put64(body, verdict.from);
+        put64(body, verdict.to);
+        putString(body, verdict.reason);
+    }
+    put64(body, state.delivered.size());
+    for (const auto &pair : state.delivered) {
+        put64(body, pair.first);
+        put64(body, pair.second);
+    }
+
+    std::vector<uint8_t> out(snapshot_magic,
+                             snapshot_magic + sizeof(snapshot_magic));
+    put32(out, static_cast<uint32_t>(body.size()));
+    put32(out, crc32(body.data(), body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+SnapshotLoadResult
+loadSnapshot(const uint8_t *data, size_t size)
+{
+    using Status = ProfileLoadResult::Status;
+    SnapshotLoadResult result;
+    if (size == 0)
+        return result;    // first boot: empty state is Ok
+    if (size < sizeof(snapshot_magic) + 8) {
+        result.status = Status::Truncated;
+        return result;
+    }
+    if (!std::equal(snapshot_magic,
+                    snapshot_magic + sizeof(snapshot_magic), data)) {
+        result.status = Status::BadMagic;
+        return result;
+    }
+    size_t offset = sizeof(snapshot_magic);
+    uint32_t body_len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i)
+        body_len |= static_cast<uint32_t>(data[offset + i]) << (8 * i);
+    for (int i = 0; i < 4; ++i)
+        crc |= static_cast<uint32_t>(data[offset + 4 + i]) << (8 * i);
+    offset += 8;
+    if (body_len > size - offset) {
+        result.status = Status::Truncated;
+        return result;
+    }
+    if (crc32(data + offset, body_len) != crc) {
+        result.status = Status::BadChecksum;
+        return result;
+    }
+
+    ByteReader in{data + offset, body_len};
+    const uint64_t proc_count = in.u64();
+    for (uint64_t i = 0; i < proc_count && !in.truncated; ++i) {
+        const uint64_t cr3 = in.u64();
+        ProcessSnapshot proc;
+        proc.seqHighWater = in.u64();
+        if (!in.transitions(proc.credits)) {
+            result.status = Status::BadChecksum;
+            return result;
+        }
+        result.state.processes[cr3] = std::move(proc);
+    }
+    const uint64_t verdict_count = in.u64();
+    for (uint64_t i = 0; i < verdict_count && !in.truncated; ++i) {
+        JournalRecord verdict;
+        verdict.type = RecordType::VerdictCommitted;
+        verdict.cr3 = in.u64();
+        verdict.seq = in.u64();
+        verdict.verdictKind = in.u8();
+        verdict.syscall = static_cast<int64_t>(in.u64());
+        verdict.from = in.u64();
+        verdict.to = in.u64();
+        verdict.reason = in.str();
+        result.state.undeliveredVerdicts.push_back(
+            std::move(verdict));
+    }
+    const uint64_t delivered_count = in.u64();
+    for (uint64_t i = 0; i < delivered_count && !in.truncated; ++i) {
+        const uint64_t cr3 = in.u64();
+        const uint64_t seq = in.u64();
+        result.state.delivered.insert({cr3, seq});
+    }
+    if (in.truncated) {
+        // The CRC matched but the content over-ran its frame: a
+        // writer/reader version skew or corruption the CRC cannot
+        // arbitrate. Refuse the bytes rather than trust a prefix.
+        result.state = RecoveredState{};
+        result.status = Status::BadChecksum;
+    }
+    return result;
+}
+
+SnapshotLoadResult
+loadSnapshot(const std::vector<uint8_t> &bytes)
+{
+    return loadSnapshot(bytes.data(), bytes.size());
+}
+
+} // namespace flowguard::recovery

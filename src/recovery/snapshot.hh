@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Compacted recovery snapshots.
+ *
+ * An append-only journal grows without bound; the snapshot is its
+ * periodic fold. RecoveredState::apply() defines the fold: credit
+ * commits accumulate in order, module unloads/rebases prune what
+ * they retired, verdict deliveries cancel their commits (the
+ * replay-side dedup), and checked endpoints raise the per-process
+ * high-water mark. Compaction is then simply "fold snapshot +
+ * journal, serialize, clear journal" — and warm restart is the same
+ * fold read back.
+ *
+ * The serialized form reuses the profile wire primitives and the
+ * journal's CRC discipline, and loading is recoverable in the same
+ * vocabulary as tryLoadProfile: a truncated or bit-flipped snapshot
+ * yields Truncated / BadChecksum / BadMagic, never an abort — the
+ * supervisor falls back to an empty state plus whatever the journal
+ * still holds.
+ */
+
+#ifndef FLOWGUARD_RECOVERY_SNAPSHOT_HH
+#define FLOWGUARD_RECOVERY_SNAPSHOT_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "recovery/journal.hh"
+
+namespace flowguard::recovery {
+
+/** Per-process durable protection state. */
+struct ProcessSnapshot
+{
+    /** Committed runtime-credit transitions, in commit order, with
+     *  unload/rebase-retired ranges already pruned. */
+    std::vector<decode::TipTransition> credits;
+    /** Highest endpoint sequence number that was fully checked. */
+    uint64_t seqHighWater = 0;
+};
+
+/** The folded protection state a warm restart rebuilds from. */
+struct RecoveredState
+{
+    std::map<uint64_t, ProcessSnapshot> processes;
+    /** Committed kills whose delivery never happened — replay must
+     *  re-queue exactly these, in order. */
+    std::vector<JournalRecord> undeliveredVerdicts;
+    /** (cr3, seq) pairs already delivered: the dedup set. */
+    std::set<std::pair<uint64_t, uint64_t>> delivered;
+    /** Commits cancelled by a matching delivery during the fold. */
+    uint64_t dedupDropped = 0;
+
+    /** Folds one journal record into the state. */
+    void apply(const JournalRecord &record);
+};
+
+/** Serializes the state: magic, CRC-framed body, wire encoding. */
+std::vector<uint8_t> serializeSnapshot(const RecoveredState &state);
+
+struct SnapshotLoadResult
+{
+    RecoveredState state;
+    ProfileLoadResult::Status status = ProfileLoadResult::Status::Ok;
+};
+
+/**
+ * Loads a snapshot tolerantly. An empty buffer is Ok with empty
+ * state (first boot); damage is classified, never fatal.
+ */
+SnapshotLoadResult loadSnapshot(const uint8_t *data, size_t size);
+
+SnapshotLoadResult loadSnapshot(const std::vector<uint8_t> &bytes);
+
+} // namespace flowguard::recovery
+
+#endif // FLOWGUARD_RECOVERY_SNAPSHOT_HH

@@ -19,6 +19,8 @@ violationKindName(ViolationReport::Kind kind)
         return "attach-failure";
       case ViolationReport::Kind::Quarantined: return "quarantined";
       case ViolationReport::Kind::UnknownCode: return "unknown-code";
+      case ViolationReport::Kind::ProtectionGap:
+        return "protection-gap";
     }
     return "?";
 }
@@ -130,7 +132,9 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
         ViolationReport pending;
         if (_service->consumePendingKill(cr3, pending))
             return killWith(std::move(pending));
-        if (retiresCode(number) && _service->isProtected(cr3)) {
+        if (retiresCode(number) &&
+            (_service->isProtected(cr3) ||
+             _service->recoveryGatePending(cr3))) {
             // Code-unload barrier (see inline mode below): the whole
             // buffer is judged synchronously before the unload event
             // can fire, while the module map still shows the code
@@ -145,7 +149,8 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
             return dispatch(cpu, number);
         }
         if (_config.endpoints.count(number) &&
-            _service->isProtected(cr3)) {
+            (_service->isProtected(cr3) ||
+             _service->recoveryGatePending(cr3))) {
             ++_endpointHits;
             EndpointDecision decision =
                 _service->onEndpoint(cpu, number);

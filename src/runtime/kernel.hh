@@ -58,6 +58,12 @@ struct ViolationReport
          *  were waived, not enforced. Never a kill — these live in
          *  auditReports(), not violations(). */
         UnknownCode,
+        /** The checker was dead or restarting for a window of this
+         *  process's execution. Never a kill under ResyncAndAudit —
+         *  the report bounds the unchecked window (fromCycle in
+         *  `from`, toCycle in `to`) so an auditor knows exactly which
+         *  cycles ran without enforcement. */
+        ProtectionGap,
     };
 
     Kind kind = Kind::CfiViolation;

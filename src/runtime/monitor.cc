@@ -100,6 +100,8 @@ Monitor::fastPhase(const std::vector<uint8_t> &packets)
 Monitor::FastPhaseOutcome
 Monitor::resolveFast(FastPathResult fast)
 {
+    const bool force_slow = _forceSlowNext;
+    _forceSlowNext = false;
     ++_stats.checks;
     _lastFast = std::move(fast);
     _lastSource = VerdictSource::FastPath;
@@ -140,7 +142,10 @@ Monitor::resolveFast(FastPathResult fast)
     const bool escalate_loss = outcome.loss &&
         _config.lossPolicy == LossPolicy::EscalateSlowPath;
 
-    if (!escalate_loss) {
+    // A forced window (first check after a warm restart) never
+    // resolves on the fast path: replayed credit may accelerate
+    // checks again only after one authoritative slow-path verdict.
+    if (!escalate_loss && !force_slow) {
         if (_lastFast.verdict == CheckVerdict::Pass) {
             ++_stats.fastPass;
             outcome.verdict = CheckVerdict::Pass;
@@ -222,14 +227,24 @@ Monitor::commitCache()
 {
     if (!_cachePending)
         return;
+    if (_commitObserver)
+        _commitObserver(_cacheTransitions);
+    replayCommit(_cacheTransitions);
+    discardCache();
+}
+
+void
+Monitor::replayCommit(
+    const std::vector<decode::TipTransition> &transitions)
+{
     if (_paths) {
         std::vector<uint64_t> targets;
-        targets.reserve(_cacheTransitions.size());
-        for (const auto &transition : _cacheTransitions)
+        targets.reserve(transitions.size());
+        for (const auto &transition : transitions)
             targets.push_back(transition.to);
         _paths->observe(targets);
     }
-    for (const auto &transition : _cacheTransitions) {
+    for (const auto &transition : transitions) {
         if (transition.from == 0)
             continue;
         const int64_t edge =
@@ -242,7 +257,6 @@ Monitor::commitCache()
         _itc.setRuntimeCredit(edge);
         _itc.addTntSequence(edge, transition.tnt);
     }
-    discardCache();
 }
 
 void

@@ -10,6 +10,7 @@
 #define FLOWGUARD_RUNTIME_MONITOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "analysis/cfg.hh"
@@ -168,6 +169,41 @@ class Monitor
     /** Drops the staged verdict cache without applying it. */
     void discardCache();
 
+    /**
+     * Warm-restart path: re-applies journaled commit transitions with
+     * exactly the original commitCache() effect (path observation,
+     * runtime credit, TNT sequences) — without staging and without
+     * re-notifying the commit observer, since the journal already
+     * holds these records.
+     */
+    void replayCommit(
+        const std::vector<decode::TipTransition> &transitions);
+
+    /**
+     * Observes every commitCache() with the transitions being
+     * promoted, before they land in the ITC-CFG. The recovery
+     * journal uses this to make committed runtime credit durable:
+     * what the observer saw is exactly what a warm restart replays.
+     */
+    using CommitObserver = std::function<void(
+        const std::vector<decode::TipTransition> &)>;
+
+    void setCommitObserver(CommitObserver observer)
+    {
+        _commitObserver = std::move(observer);
+    }
+
+    /**
+     * Forces the next check's window through the slow path even if
+     * the fast path would pass it. The recovery supervisor arms this
+     * on the first post-resync endpoint: credit state just replayed
+     * from a journal is trusted to *accelerate* checks again only
+     * after one authoritative slow-path verdict. One-shot.
+     */
+    void forceSlowNext() { _forceSlowNext = true; }
+
+    bool slowForcedPending() const { return _forceSlowNext; }
+
     /** True while a slow-path pass has uncommitted cache material. */
     bool cachePending() const { return _cachePending; }
 
@@ -257,6 +293,8 @@ class Monitor
     /** Staged (uncommitted) verdict-cache material. */
     std::vector<decode::TipTransition> _cacheTransitions;
     bool _cachePending = false;
+    CommitObserver _commitObserver;
+    bool _forceSlowNext = false;
 
     dynamic::DynamicGuard *_dynamic = nullptr;
     std::vector<uint8_t> _verdictLog;

@@ -240,6 +240,16 @@ CheckScheduler::dropProcess(uint64_t cr3)
     }
 }
 
+size_t
+CheckScheduler::dropAllForCrash()
+{
+    const size_t wiped = _queue.size();
+    _stats.lostToCrash += wiped;
+    _queue.clear();
+    _freeAt = 0;
+    return wiped;
+}
+
 bool
 CheckScheduler::shedOneAudit()
 {

@@ -127,6 +127,7 @@ struct SchedulerStats
     uint64_t forcedRuns = 0;         ///< queue-full blocking deliveries
     uint64_t shedAudit = 0;
     uint64_t droppedQuarantined = 0; ///< dropped with their process
+    uint64_t lostToCrash = 0;        ///< wiped by a checker crash
     uint64_t timeouts = 0;           ///< deadline misses, any policy
     uint64_t batchRaises = 0;
     size_t maxQueueDepth = 0;
@@ -135,15 +136,16 @@ struct SchedulerStats
 
     /**
      * The no-silent-drop identity: every submitted check is resolved
-     * inline, convicted, waived, delivered late, shed (counted) or
-     * dropped with a quarantined process — or still pending.
+     * inline, convicted, waived, delivered late, shed (counted),
+     * dropped with a quarantined process, or wiped by a checker
+     * crash (counted, so the loss is auditable) — or still pending.
      */
     bool
     balances(size_t pending) const
     {
         return submitted == inlinePass + inlineViolations +
             timeoutConvictions + auditWaived + deferredDelivered +
-            shedAudit + droppedQuarantined + pending;
+            shedAudit + droppedQuarantined + lostToCrash + pending;
     }
 };
 
@@ -186,6 +188,15 @@ class CheckScheduler
 
     /** Drops queued work of a quarantined process (counted). */
     void dropProcess(uint64_t cr3);
+
+    /**
+     * A checker crash wipes the in-memory queue. Every pending item
+     * is counted into lostToCrash — the identity still balances, and
+     * the count is what the recovery supervisor folds into its
+     * protection-gap report. The checking core's busy time is also
+     * reset (the core died with the queue). Returns items wiped.
+     */
+    size_t dropAllForCrash();
 
     /** Current adaptive batch factor (1 = no batching). */
     size_t batchFactor() const { return _batchFactor; }

@@ -18,6 +18,18 @@ quarantineActionName(QuarantineAction action)
     return "?";
 }
 
+const char *
+windowClassName(ProtectionWindowClass cls)
+{
+    switch (cls) {
+      case ProtectionWindowClass::Checked: return "checked";
+      case ProtectionWindowClass::Deferred: return "deferred";
+      case ProtectionWindowClass::Lossy: return "lossy";
+      case ProtectionWindowClass::Gap: return "gap";
+    }
+    return "?";
+}
+
 ProtectionService::ProtectionService(ServiceConfig config)
     : _config(config),
       _scheduler(
@@ -116,6 +128,13 @@ ProtectionService::isProtected(uint64_t cr3) const
 }
 
 bool
+ProtectionService::recoveryGatePending(uint64_t cr3) const
+{
+    return _recovery && _recovery->checkerDown() &&
+        _processes.count(cr3) != 0;
+}
+
+bool
 ProtectionService::quarantined(uint64_t cr3) const
 {
     auto it = _processes.find(cr3);
@@ -194,6 +213,12 @@ ProtectionService::deliver(const CheckRequest &request,
         return;
     }
     ++_stats.deferredKills;
+    // Commit point: the verdict exists but the kill has not reached
+    // its process yet. Journaling here is what lets a checker crash
+    // in the commit-to-delivery window neither lose the kill nor,
+    // after replay, deliver it twice.
+    if (_recovery)
+        _recovery->noteVerdictCommitted(report);
     proc.pendingKills.push_back(std::move(report));
 }
 
@@ -206,7 +231,17 @@ ProtectionService::consumePendingKill(uint64_t cr3,
         return false;
     out = std::move(it->second.pendingKills.front());
     it->second.pendingKills.pop_front();
+    if (_recovery)
+        _recovery->noteVerdictDelivered(cr3, out.seq);
     return true;
+}
+
+void
+ProtectionService::noteWindow(const ProcessRecord &proc,
+                              ProtectionWindowClass cls)
+{
+    if (_recovery)
+        _recovery->noteWindow(proc.cr3, proc.seq, cls);
 }
 
 EndpointDecision
@@ -215,10 +250,28 @@ ProtectionService::onEndpoint(cpu::Cpu &cpu, int64_t syscall)
     EndpointDecision decision;
     const uint64_t cr3 = cpu.program().cr3();
     auto it = _processes.find(cr3);
-    if (it == _processes.end() || !it->second.attached)
+    if (it == _processes.end())
         return decision;
     ProcessRecord &proc = it->second;
     const uint64_t now = virtualNow();
+
+    // The recovery gate first — BEFORE the attached check, because a
+    // checker crash detaches every process and the gate is exactly
+    // what governs (observes, restarts, accounts) that window. If
+    // the checker is dead or restarting, nothing below exists to
+    // run. The window is an explicit, accounted protection gap — the
+    // sequence number still advances (it is kernel-side protocol
+    // state), but no check runs and no stale pending kill can fire.
+    if (_recovery &&
+        _recovery->gateEndpoint(cr3, proc.seq + 1, now) ==
+            RecoveryHooks::Gate::SkipUnchecked) {
+        ++proc.seq;
+        ++_stats.gapSkipped;
+        noteWindow(proc, ProtectionWindowClass::Gap);
+        return decision;
+    }
+    if (!proc.attached)
+        return decision;
 
     // Deliver any deferred verdicts the virtual clock has reached;
     // one of them may be a kill for this very process.
@@ -278,6 +331,8 @@ ProtectionService::onEndpoint(cpu::Cpu &cpu, int64_t syscall)
     const Monitor::FastPhaseOutcome fast =
         proc.monitor->fastPhase(packets);
     if (!fast.needSlow) {
+        noteWindow(proc, fast.loss ? ProtectionWindowClass::Lossy
+                                   : ProtectionWindowClass::Checked);
         if (fast.verdict == CheckVerdict::Violation) {
             decision.kill = true;
             decision.report = reportFromMonitor(proc, syscall);
@@ -299,7 +354,7 @@ ProtectionService::onEndpoint(cpu::Cpu &cpu, int64_t syscall)
         _config.quarantineAction == QuarantineAction::Audit;
     request.packets = std::move(packets);
     const auto outcome = _scheduler.submit(std::move(request), now);
-    return resolve(proc, syscall, outcome);
+    return resolve(proc, syscall, outcome, fast.loss);
 }
 
 EndpointDecision
@@ -308,9 +363,26 @@ ProtectionService::codeBarrier(cpu::Cpu &cpu, int64_t syscall)
     EndpointDecision decision;
     const uint64_t cr3 = cpu.program().cr3();
     auto it = _processes.find(cr3);
-    if (it == _processes.end() || !it->second.attached)
+    if (it == _processes.end())
         return decision;
     ProcessRecord &proc = it->second;
+
+    // Dead checker (gated before the attached check — the crash is
+    // what detached us): the unload proceeds unchecked. The code
+    // event itself is still journaled (the supervisor subscribes to
+    // the kernel's event stream, which survives the checker), so
+    // replay knows credit on this range must not be restored.
+    if (_recovery &&
+        _recovery->gateEndpoint(cr3, proc.seq + 1, virtualNow()) ==
+            RecoveryHooks::Gate::SkipUnchecked) {
+        ++proc.seq;
+        ++_stats.gapSkipped;
+        noteWindow(proc, ProtectionWindowClass::Gap);
+        return decision;
+    }
+    if (!proc.attached)
+        return decision;
+
     ++proc.seq;
     ++_stats.barrierChecks;
     if (proc.account)
@@ -323,6 +395,9 @@ ProtectionService::codeBarrier(cpu::Cpu &cpu, int64_t syscall)
     proc.encoder->flushTnt();
     const CheckVerdict verdict =
         proc.monitor->checkFull(proc.topa->snapshot());
+    noteWindow(proc, proc.monitor->lastFast().lossDetected()
+                         ? ProtectionWindowClass::Lossy
+                         : ProtectionWindowClass::Checked);
     if (verdict == CheckVerdict::Violation) {
         ViolationReport report = reportFromMonitor(proc, syscall);
         const bool audit_class = proc.quarantined &&
@@ -353,11 +428,26 @@ ProtectionService::codeBarrier(cpu::Cpu &cpu, int64_t syscall)
 
 EndpointDecision
 ProtectionService::resolve(ProcessRecord &proc, int64_t syscall,
-                           const CheckScheduler::SubmitOutcome &out)
+                           const CheckScheduler::SubmitOutcome &out,
+                           bool loss)
 {
     EndpointDecision decision;
     const bool audit_class = proc.quarantined &&
         _config.quarantineAction == QuarantineAction::Audit;
+
+    // Attribute this window's cycles: a shed check is a gap (nothing
+    // will ever judge it), a deferred one is late-but-guaranteed, a
+    // lossy one was judged over damaged trace, anything else was
+    // checked with a verdict in hand.
+    ProtectionWindowClass cls = ProtectionWindowClass::Checked;
+    if (out.resolution == CheckResolution::Shed)
+        cls = ProtectionWindowClass::Gap;
+    else if (loss)
+        cls = ProtectionWindowClass::Lossy;
+    else if (out.resolution == CheckResolution::Deferred)
+        cls = ProtectionWindowClass::Deferred;
+    noteWindow(proc, cls);
+
     switch (out.resolution) {
       case CheckResolution::InlinePass:
         proc.consecutiveMisses = 0;
@@ -516,10 +606,24 @@ ProtectionService::drain()
     _drained = true;
     const uint64_t now = virtualNow();
 
+    // A run can end while the checker is down. The gate gives the
+    // supervisor one last chance to warm-restart (so the final checks
+    // below run against replayed state); if the restart is not due,
+    // the tail of every process's execution is an accounted gap and
+    // the final checks cannot exist.
+    const bool checker_alive = !_recovery ||
+        _recovery->gateDrain(now) == RecoveryHooks::Gate::Proceed;
+
     // One final full-window check per attached process: anything a
     // coalesced endpoint skipped is verified here.
     for (auto &entry : _processes) {
         ProcessRecord &proc = entry.second;
+        if (!checker_alive) {
+            // A crash detached everyone; their tail is still an
+            // accounted gap, attached or not.
+            noteWindow(proc, ProtectionWindowClass::Gap);
+            continue;
+        }
         if (!proc.attached)
             continue;
         proc.monitor->setPktCount(proc.basePktCount);
@@ -532,6 +636,8 @@ ProtectionService::drain()
             verdict = proc.monitor->slowPhase(packets, fast.loss);
         // End of run: credit earned here cannot be reused.
         proc.monitor->discardCache();
+        noteWindow(proc, fast.loss ? ProtectionWindowClass::Lossy
+                                   : ProtectionWindowClass::Checked);
         if (verdict == CheckVerdict::Violation) {
             ViolationReport report =
                 reportFromMonitor(proc, /*syscall=*/-1);
@@ -550,10 +656,80 @@ ProtectionService::drain()
             ViolationReport report =
                 std::move(proc.pendingKills.front());
             proc.pendingKills.pop_front();
+            if (_recovery)
+                _recovery->noteVerdictDelivered(proc.cr3, report.seq);
             report.reason += " [post-mortem: process stopped first]";
             _reports.push_back(std::move(report));
         }
     }
+}
+
+size_t
+ProtectionService::crashWipe()
+{
+    _scheduler.dropAllForCrash();
+    size_t wiped_kills = 0;
+    for (auto &entry : _processes) {
+        ProcessRecord &proc = entry.second;
+        proc.monitor->discardCache();
+        wiped_kills += proc.pendingKills.size();
+        proc.pendingKills.clear();
+        proc.consecutiveMisses = 0;
+    }
+    _stats.crashWipedKills += wiped_kills;
+    return wiped_kills;
+}
+
+size_t
+ProtectionService::detachAllForCrash()
+{
+    size_t detached = 0;
+    for (auto &entry : _processes) {
+        if (entry.second.attached) {
+            entry.second.attached = false;
+            ++detached;
+        }
+    }
+    return detached;
+}
+
+void
+ProtectionService::requeueKill(ViolationReport report)
+{
+    auto it = _processes.find(report.cr3);
+    if (it == _processes.end())
+        return;
+    ++_stats.requeuedKills;
+    it->second.pendingKills.push_back(std::move(report));
+}
+
+ProtectionService::ResyncOutcome
+ProtectionService::resyncCheck(uint64_t cr3)
+{
+    ResyncOutcome outcome;
+    auto it = _processes.find(cr3);
+    if (it == _processes.end() || !it->second.attached)
+        return outcome;
+    ProcessRecord &proc = it->second;
+    outcome.checked = true;
+    ++_stats.resyncChecks;
+
+    proc.monitor->setPktCount(proc.basePktCount);
+    proc.encoder->flushTnt();
+    const CheckVerdict verdict =
+        proc.monitor->checkFull(proc.topa->snapshot());
+    if (verdict == CheckVerdict::Violation) {
+        outcome.violation = true;
+        outcome.report = reportFromMonitor(proc, /*syscall=*/-1);
+        outcome.report.reason += " [post-gap catch-up, audit-only]";
+    }
+    // Never bank credit from a window that spans the gap, and start
+    // the stream over so the next window decodes from a clean PSB.
+    proc.monitor->discardCache();
+    proc.topa->clear();
+    proc.encoder->restartStream();
+    proc.lastCheckedWritten = proc.topa->totalWritten();
+    return outcome;
 }
 
 } // namespace flowguard::runtime

@@ -100,6 +100,12 @@ struct ServiceStats
     uint64_t attachRetries = 0;     ///< failed tries that were retried
     uint64_t attachFailures = 0;    ///< processes never protected
     uint64_t attachBackoffCycles = 0;
+
+    // Crash-recovery accounting (zero without a RecoverySupervisor).
+    uint64_t gapSkipped = 0;        ///< endpoints unchecked: dead checker
+    uint64_t crashWipedKills = 0;   ///< pending kills lost to a crash
+    uint64_t requeuedKills = 0;     ///< kills restored by journal replay
+    uint64_t resyncChecks = 0;      ///< post-gap catch-up checks
 };
 
 /** What the kernel should do with the endpoint that just fired. */
@@ -107,6 +113,73 @@ struct EndpointDecision
 {
     bool kill = false;
     ViolationReport report;
+};
+
+/**
+ * The class every cycle of a protected process belongs to — the
+ * no-silent-gap identity. Each checked window attributes the cycles
+ * since the previous attribution to exactly one class, so
+ * checked + deferred + lossy + gap always equals the cycles the
+ * process retired under protection. "Unknown" is deliberately not a
+ * class: a cycle the accounting cannot place is a bug, not a bucket.
+ */
+enum class ProtectionWindowClass : uint8_t {
+    Checked,    ///< verdict available at (or computed for) the window
+    Deferred,   ///< ran on; verdict delivered late but guaranteed
+    Lossy,      ///< checked best-effort; the trace had gaps
+    Gap,        ///< no checker existed — crash/hang window, or shed
+};
+
+const char *windowClassName(ProtectionWindowClass cls);
+
+/**
+ * The seam between the service and the crash-recovery subsystem
+ * (src/recovery). The service never knows *how* journaling, the
+ * watchdog or warm restart work — it only reports protection-state
+ * mutations and asks, per endpoint, whether a live checker exists.
+ * Declared here so runtime does not depend on recovery; the
+ * RecoverySupervisor implements it and wires itself in via
+ * ProtectionService::setRecoveryHooks.
+ */
+class RecoveryHooks
+{
+  public:
+    virtual ~RecoveryHooks() = default;
+
+    enum class Gate : uint8_t {
+        Proceed,        ///< checker alive: check normally
+        SkipUnchecked,  ///< checker dead/restarting: window is a gap
+    };
+
+    /** Called at every endpoint entry, before any checking. `seq` is
+     *  the sequence number this endpoint carries. May perform a warm
+     *  restart internally before answering. */
+    virtual Gate gateEndpoint(uint64_t cr3, uint64_t seq,
+                              uint64_t now) = 0;
+
+    /** Called once at drain() before the final per-process checks. */
+    virtual Gate gateDrain(uint64_t now) = 0;
+
+    /** True while no live checker exists (crashed or hung, restart
+     *  not yet performed). The kernel uses this to keep delivering
+     *  endpoint traps to detached processes: the crash is what
+     *  detached them, and the gate behind the trap is what observes
+     *  the outage, accounts it, and performs the warm restart. */
+    virtual bool checkerDown() const { return false; }
+
+    /** Every endpoint/barrier/drain window reports its class here —
+     *  including Gap windows the gate itself skipped. */
+    virtual void noteWindow(uint64_t cr3, uint64_t seq,
+                            ProtectionWindowClass cls) = 0;
+
+    /** A violation verdict was committed (queued for delivery). The
+     *  journal makes it durable so a crash between commit and
+     *  delivery cannot lose — or double-deliver — the kill. */
+    virtual void noteVerdictCommitted(const ViolationReport &report)
+        = 0;
+
+    /** The committed verdict reached its process (or post-mortem). */
+    virtual void noteVerdictDelivered(uint64_t cr3, uint64_t seq) = 0;
 };
 
 class ProtectionService
@@ -123,6 +196,10 @@ class ProtectionService
     {
         _faults = &faults;
     }
+
+    /** Wires the crash-recovery subsystem in. Optional; absent means
+     *  the checker is assumed immortal (the pre-recovery behavior). */
+    void setRecoveryHooks(RecoveryHooks *hooks) { _recovery = hooks; }
 
     /**
      * Registers one process. The monitor should run with
@@ -152,6 +229,12 @@ class ProtectionService
 
     /** True when the process is registered and attach succeeded. */
     bool isProtected(uint64_t cr3) const;
+
+    /** True when the process is registered but the checker is down:
+     *  a crash detached everyone, and the kernel must keep routing
+     *  endpoint traps through the service so the recovery gate can
+     *  observe the outage, account the gap, and warm-restart. */
+    bool recoveryGatePending(uint64_t cr3) const;
 
     /**
      * The endpoint upcall: runs the fast phase inline, routes
@@ -221,6 +304,46 @@ class ProtectionService
         return _scheduler.accountingBalances();
     }
 
+    // --- crash-recovery entry points (RecoverySupervisor only) -------------
+
+    /**
+     * The checker process died: its volatile state is gone. Drops the
+     * scheduler's queue (counted into lostToCrash), every staged
+     * verdict cache, and every undelivered pending kill (counted;
+     * journal replay restores the committed ones). Registry state that
+     * lives kernel-side — sequence numbers, attach records — survives.
+     * Returns the number of pending kills wiped.
+     */
+    size_t crashWipe();
+
+    /** The dead checker's syscall interposition is gone with it; every
+     *  process must re-attach (with the usual retry/backoff) before it
+     *  is protected again. Returns how many were detached. */
+    size_t detachAllForCrash();
+
+    /** Re-queues a journal-replayed committed-but-undelivered kill.
+     *  Does not re-journal it — it is already durable. */
+    void requeueKill(ViolationReport report);
+
+    struct ResyncOutcome
+    {
+        bool checked = false;       ///< false: process unknown/unattached
+        bool violation = false;
+        ViolationReport report;     ///< valid when `violation`
+    };
+
+    /**
+     * Post-gap catch-up: one synchronous full-window check over
+     * everything that accumulated while the checker was down, in
+     * audit mode — a verdict computed over a buffer that spans the
+     * gap (and possible module churn) is evidence for the supervisor
+     * to report, not grounds for a kill. The staged cache is
+     * discarded (credit from a gap-spanning window is never banked)
+     * and the stream restarts at a fresh sync point, so
+     * post-recovery windows hold only post-recovery TIPs.
+     */
+    ResyncOutcome resyncCheck(uint64_t cr3);
+
   private:
     struct ProcessRecord
     {
@@ -247,7 +370,11 @@ class ProtectionService
                  const CheckExecution &exec, uint64_t age);
     /** Applies a submit outcome; returns a kill decision if any. */
     EndpointDecision resolve(ProcessRecord &proc, int64_t syscall,
-                             const CheckScheduler::SubmitOutcome &out);
+                             const CheckScheduler::SubmitOutcome &out,
+                             bool loss);
+    /** Reports one window's class (and seq) to the recovery hooks. */
+    void noteWindow(const ProcessRecord &proc,
+                    ProtectionWindowClass cls);
     void noteDeadlineMiss(ProcessRecord &proc, int64_t syscall,
                           EndpointDecision &decision);
     ViolationReport violationReportFrom(const ProcessRecord &proc,
@@ -261,6 +388,7 @@ class ProtectionService
     CheckScheduler _scheduler;
     cpu::Machine *_machine = nullptr;
     trace::FaultInjector *_faults = nullptr;
+    RecoveryHooks *_recovery = nullptr;
     Rng _rng;
     std::map<uint64_t, ProcessRecord> _processes;
     std::vector<ViolationReport> _reports;

@@ -1,0 +1,41 @@
+#include "support/crc32.hh"
+
+#include <array>
+
+namespace flowguard {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t size, uint32_t seed)
+{
+    static const std::array<uint32_t, 256> table = makeTable();
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = table[(c ^ bytes[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32(const std::vector<uint8_t> &bytes, uint32_t seed)
+{
+    return crc32(bytes.data(), bytes.size(), seed);
+}
+
+} // namespace flowguard

@@ -72,6 +72,16 @@ Distribution::add(double sample)
 }
 
 void
+Distribution::merge(const Distribution &other)
+{
+    if (other._samples.empty())
+        return;
+    _samples.insert(_samples.end(), other._samples.begin(),
+                    other._samples.end());
+    _sorted = false;
+}
+
+void
 Distribution::sortIfNeeded() const
 {
     if (!_sorted) {

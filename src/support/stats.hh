@@ -53,6 +53,13 @@ class Distribution
   public:
     void add(double sample);
 
+    /**
+     * Folds another distribution's samples into this one. Used to
+     * aggregate per-run distributions (e.g. protection-gap widths
+     * across a crash-point sweep) into one quantile-able pool.
+     */
+    void merge(const Distribution &other);
+
     uint64_t count() const { return _samples.size(); }
     bool empty() const { return _samples.empty(); }
     double mean() const;

@@ -19,6 +19,9 @@ faultModeName(FaultMode mode)
       case FaultMode::TraceStartFail: return "trace-start-fail";
       case FaultMode::PmiStorm: return "pmi-storm";
       case FaultMode::StalledSlowPath: return "stalled-slow-path";
+      case FaultMode::MonitorCrash: return "monitor-crash";
+      case FaultMode::MonitorHang: return "monitor-hang";
+      case FaultMode::TornJournal: return "torn-journal";
     }
     return "?";
 }
@@ -57,12 +60,16 @@ FaultInjector::apply(const FaultSpec &spec, std::vector<uint8_t> &buffer)
         return truncateTail(buffer);
       case FaultMode::DropRegion:
         return dropRegion(buffer, spec.regionBytes);
+      case FaultMode::TornJournal:
+        return tearJournalTail(buffer);
       case FaultMode::None:
       case FaultMode::DelayedPmi:
       case FaultMode::AttachFail:
       case FaultMode::TraceStartFail:
       case FaultMode::PmiStorm:
       case FaultMode::StalledSlowPath:
+      case FaultMode::MonitorCrash:
+      case FaultMode::MonitorHang:
         // Control-plane kinds have no buffer form.
         return 0;
     }
@@ -151,6 +158,17 @@ FaultInjector::slowPathStallNow()
     return _rng.chance(_plan.slowPathStallChance)
         ? _plan.slowPathStallCycles
         : 0;
+}
+
+size_t
+FaultInjector::tearJournalTail(std::vector<uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return 0;
+    const size_t removed = static_cast<size_t>(
+        _rng.range(1, std::min<uint64_t>(16, bytes.size())));
+    bytes.resize(bytes.size() - removed);
+    return removed;
 }
 
 } // namespace flowguard::trace

@@ -43,6 +43,12 @@ enum class FaultMode : uint8_t {
     TraceStartFail,     ///< RTIT enable MSR write fails
     PmiStorm,           ///< burst of spurious buffer-full PMIs
     StalledSlowPath,    ///< a slow-path decode stalls for extra cycles
+
+    // Checker-process faults: the monitor itself dies or wedges.
+    // Consumed by the recovery supervisor, not by trace handling.
+    MonitorCrash,       ///< checker process dies at a virtual cycle
+    MonitorHang,        ///< checker stops heartbeating (wedged)
+    TornJournal,        ///< crash tears the journal's in-flight append
 };
 
 const char *faultModeName(FaultMode mode);
@@ -80,6 +86,17 @@ struct ControlFaultPlan
     double slowPathStallChance = 0.0;
     /** Extra cycles a stalled slow-path check costs. */
     uint64_t slowPathStallCycles = 1'000'000;
+
+    // Checker-process faults (crash-recovery subsystem). The cycle
+    // values are on the service's virtual clock; 0 means never.
+    /** One-shot checker crash at this virtual cycle. */
+    uint64_t monitorCrashAtCycle = 0;
+    /** Checker stops heartbeating (hang) at this virtual cycle; the
+     *  watchdog only notices after its heartbeat timeout. */
+    uint64_t monitorHangAtCycle = 0;
+    /** A crash additionally tears the journal's last append (the
+     *  write was in flight when the process died). */
+    bool tornJournalOnCrash = false;
 };
 
 class FaultInjector
@@ -134,6 +151,33 @@ class FaultInjector
 
     /** Extra cycles this slow-path check stalls for (0 = no stall). */
     uint64_t slowPathStallNow();
+
+    // --- checker-process faults --------------------------------------------
+
+    /** Scheduled crash cycle (0 = none planned). */
+    uint64_t monitorCrashCycle() const
+    {
+        return _plan.monitorCrashAtCycle;
+    }
+
+    /** Scheduled hang cycle (0 = none planned). */
+    uint64_t monitorHangCycle() const
+    {
+        return _plan.monitorHangAtCycle;
+    }
+
+    bool tornJournalOnCrash() const
+    {
+        return _plan.tornJournalOnCrash;
+    }
+
+    /**
+     * Tears the tail of a journal byte stream the way a crash tears
+     * an in-flight append: removes 1..16 trailing bytes, with high
+     * probability cutting the final CRC frame mid-record. Returns
+     * bytes removed.
+     */
+    size_t tearJournalTail(std::vector<uint8_t> &bytes);
 
     Rng &rng() { return _rng; }
 

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Shared test harness for crash-recovery tests: a fleet of processes
+ * on one cpu::Machine behind one ProtectionService, with a
+ * RecoverySupervisor wired in as both the service's recovery hooks
+ * and a kernel code-event sink, and a FaultInjector that can crash,
+ * hang, or tear the checker on a scheduled virtual cycle.
+ */
+
+#ifndef FLOWGUARD_TESTS_RECOVERY_FLEET_HH
+#define FLOWGUARD_TESTS_RECOVERY_FLEET_HH
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/flowguard.hh"
+#include "cpu/machine.hh"
+#include "recovery/supervisor.hh"
+#include "runtime/kernel.hh"
+#include "runtime/service.hh"
+#include "trace/faults.hh"
+#include "workloads/apps.hh"
+
+namespace flowguard::test {
+
+using runtime::FlowGuardKernel;
+
+/** (cr3, seq, kind) — one attributable enforcement outcome. */
+using Outcome = std::tuple<uint64_t, uint64_t, uint8_t>;
+
+struct RecoveryFleet
+{
+    std::vector<workloads::SyntheticApp> apps;
+    std::vector<std::unique_ptr<FlowGuard::ProcessHarness>> procs;
+    std::vector<std::unique_ptr<FlowGuardKernel>> kernels;
+    cpu::Machine machine;
+    runtime::ProtectionService service;
+    recovery::RecoverySupervisor supervisor;
+    trace::FaultInjector faults;
+
+    using AppBuilder =
+        std::function<workloads::SyntheticApp(size_t index)>;
+
+    RecoveryFleet(FlowGuard &guard, runtime::ServiceConfig sconfig,
+                  recovery::RecoveryConfig rconfig,
+                  trace::ControlFaultPlan plan, uint64_t fault_seed,
+                  const AppBuilder &build_app,
+                  const std::vector<std::vector<uint8_t>> &inputs)
+        : service(sconfig), supervisor(rconfig), faults(fault_seed)
+    {
+        faults.setControlPlan(plan);
+        service.setMachine(machine);
+        service.setFaultInjector(faults);
+        supervisor.attach(service);
+        supervisor.setFaultInjector(faults);
+
+        const size_t n = inputs.size();
+        apps.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            apps.push_back(build_app(i));
+        for (size_t i = 0; i < n; ++i) {
+            procs.push_back(
+                guard.makeProcessHarness(apps[i].program));
+            kernels.push_back(std::make_unique<FlowGuardKernel>(
+                FlowGuardKernel::Config{}));
+            kernels[i]->attachService(service);
+            kernels[i]->setInput(inputs[i]);
+            if (procs[i]->dyn)
+                kernels[i]->addCodeEventSink(procs[i]->dyn.get());
+            // Module churn must reach the journal: replay must never
+            // restore credit onto a range retired during the gap.
+            kernels[i]->addCodeEventSink(&supervisor);
+            procs[i]->cpu->setSyscallHandler(kernels[i].get());
+            service.addProcess(apps[i].program.cr3(),
+                               *procs[i]->monitor,
+                               *procs[i]->encoder, *procs[i]->topa,
+                               *procs[i]->cpu, &procs[i]->cycles);
+            // Non-dynamic harnesses check against the guard's shared
+            // trained graph; dynamic ones own a private copy and hand
+            // the supervisor their module map for replay reconciling.
+            supervisor.addProcess(
+                apps[i].program.cr3(), *procs[i]->monitor,
+                procs[i]->itc ? *procs[i]->itc : guard.itc(),
+                *procs[i]->cpu, procs[i]->dyn.get());
+            machine.addProcess(*procs[i]->cpu);
+        }
+        machine.setQuantum(2'000);
+    }
+
+    uint64_t cr3(size_t i) const { return apps[i].program.cr3(); }
+
+    void
+    run(uint64_t max_insts = 100'000'000)
+    {
+        service.attachAll();
+        machine.run(max_insts);
+        service.drain();
+    }
+
+    /**
+     * Every enforcement outcome: kernel-delivered kills plus the
+     * service's control-plane reports. Supervisor reports (gap
+     * bounds, catch-up audits) are deliberately excluded — crash
+     * equivalence is "same enforcement modulo reported gaps".
+     */
+    std::set<Outcome>
+    enforcementOutcomes() const
+    {
+        std::set<Outcome> out;
+        for (const auto &kernel : kernels)
+            for (const auto &report : kernel->violations())
+                out.insert({report.cr3, report.seq,
+                            static_cast<uint8_t>(report.kind)});
+        for (const auto &report : service.reports())
+            out.insert({report.cr3, report.seq,
+                        static_cast<uint8_t>(report.kind)});
+        return out;
+    }
+
+    bool
+    detected(size_t i, runtime::ViolationReport::Kind kind) const
+    {
+        for (const auto &report : kernels[i]->violations())
+            if (report.kind == kind && report.cr3 == cr3(i))
+                return true;
+        for (const auto &report : service.reports())
+            if (report.kind == kind && report.cr3 == cr3(i))
+                return true;
+        return false;
+    }
+
+    /** The supervisor saw a gap (or catch-up violation) for cr3 i. */
+    bool
+    gapReported(size_t i) const
+    {
+        for (const auto &report : supervisor.reports())
+            if (report.cr3 == cr3(i) &&
+                report.kind ==
+                    runtime::ViolationReport::Kind::ProtectionGap)
+                return true;
+        return false;
+    }
+
+    bool
+    catchUpViolation(size_t i) const
+    {
+        for (const auto &report : supervisor.reports())
+            if (report.cr3 == cr3(i) &&
+                report.kind !=
+                    runtime::ViolationReport::Kind::ProtectionGap)
+                return true;
+        return false;
+    }
+
+    /** The no-silent-gap identity, per process and in sum. */
+    bool
+    ledgerIdentityHolds() const
+    {
+        for (size_t i = 0; i < procs.size(); ++i)
+            if (!supervisor.ledger().identityHolds(
+                    cr3(i), procs[i]->cpu->instCount()))
+                return false;
+        return true;
+    }
+
+    uint64_t
+    totalKills() const
+    {
+        uint64_t kills = 0;
+        for (const auto &kernel : kernels)
+            kills += kernel->kills();
+        return kills;
+    }
+};
+
+} // namespace flowguard::test
+
+#endif // FLOWGUARD_TESTS_RECOVERY_FLEET_HH
