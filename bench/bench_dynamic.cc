@@ -34,6 +34,7 @@
 #include "bench_common.hh"
 #include "isa/syscalls.hh"
 #include "support/stats.hh"
+#include "telemetry/metrics.hh"
 
 namespace {
 
@@ -320,44 +321,40 @@ void
 writeJson(const ChurnResult &churn, const StaleRopResult &rop,
           const std::vector<IncrementalPoint> &points)
 {
-    JsonWriter json;
-    json.beginObject()
-        .field("bench", "dynamic")
-        .field("smoke", smoke)
-        .key("churn")
-        .beginObject()
-        .field("requests", churn.requests)
-        .field("module_loads", churn.loads)
-        .field("module_unloads", churn.unloads)
-        .field("stale_violations", churn.staleViolations)
-        .field("false_positive", churn.killed)
-        .field("accounting_balanced", churn.balanced)
-        .field("overhead_pct", churn.overheadPct)
-        .endObject()
-        .key("stale_rop")
-        .beginObject()
-        .field("baseline_exfiltrates", rop.baselineExfiltrates)
-        .field("convicted", rop.convicted)
-        .field("stale_reason", rop.staleReason)
-        .field("protected_output_bytes", rop.outputBytes)
-        .endObject()
-        .key("incremental")
-        .beginArray();
+    // Exported through the shared MetricRegistry/writeBenchJson path
+    // (flat dotted names, sorted output) instead of a hand-rolled
+    // document, so every BENCH_*.json has the same machine-readable
+    // shape.
+    telemetry::MetricRegistry registry;
+    registry.counter("churn.requests").set(churn.requests);
+    registry.counter("churn.module_loads").set(churn.loads);
+    registry.counter("churn.module_unloads").set(churn.unloads);
+    registry.counter("churn.stale_violations")
+        .set(churn.staleViolations);
+    registry.counter("churn.false_positive").set(churn.killed ? 1 : 0);
+    registry.counter("churn.accounting_balanced")
+        .set(churn.balanced ? 1 : 0);
+    registry.gauge("churn.overhead_pct").set(churn.overheadPct);
+    registry.counter("stale_rop.baseline_exfiltrates")
+        .set(rop.baselineExfiltrates ? 1 : 0);
+    registry.counter("stale_rop.convicted").set(rop.convicted ? 1 : 0);
+    registry.counter("stale_rop.stale_reason")
+        .set(rop.staleReason ? 1 : 0);
+    registry.counter("stale_rop.protected_output_bytes")
+        .set(rop.outputBytes);
     for (const auto &point : points) {
-        json.beginObject()
-            .field("filler_funcs", static_cast<uint64_t>(point.filler))
-            .field("graph_size",
-                   static_cast<uint64_t>(point.graphSize))
-            .field("events", point.events)
-            .field("touched_per_event", point.touchedPerEvent)
-            .field("full_per_event", point.fullPerEvent)
-            .endObject();
+        const std::string prefix =
+            "incremental.f" + std::to_string(point.filler);
+        registry.counter(prefix + ".graph_size").set(point.graphSize);
+        registry.counter(prefix + ".events").set(point.events);
+        registry.gauge(prefix + ".touched_per_event")
+            .set(point.touchedPerEvent);
+        registry.gauge(prefix + ".full_per_event")
+            .set(point.fullPerEvent);
     }
-    json.endArray()
-        .field("acceptance_failures",
-               static_cast<uint64_t>(failures))
-        .endObject();
-    json.writeFile("BENCH_dynamic.json");
+    registry.counter("acceptance_failures").set(failures);
+    telemetry::writeBenchJson("BENCH_dynamic.json", "dynamic", smoke,
+                              registry);
     std::printf("wrote BENCH_dynamic.json\n");
 }
 

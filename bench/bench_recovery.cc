@@ -40,6 +40,7 @@
 #include "runtime/kernel.hh"
 #include "runtime/service.hh"
 #include "support/stats.hh"
+#include "telemetry/metrics.hh"
 #include "trace/faults.hh"
 
 namespace {
@@ -423,60 +424,54 @@ writeJson(const std::vector<GapPoint> &gaps,
           const std::vector<ReplayPoint> &replays,
           const AttackResult &attack)
 {
-    JsonWriter json;
-    json.beginObject()
-        .field("bench", "recovery")
-        .field("smoke", smoke)
-        .key("gap_sweep")
-        .beginArray();
+    // Exported through the shared MetricRegistry/writeBenchJson path
+    // (flat dotted names, sorted output) instead of a hand-rolled
+    // document, so every BENCH_*.json has the same machine-readable
+    // shape.
+    telemetry::MetricRegistry registry;
     for (const auto &p : gaps) {
-        json.beginObject()
-            .field("policy", recoveryPolicyName(p.policy))
-            .field("detect_window_cycles", p.detectWindow)
-            .field("runs", static_cast<uint64_t>(p.runs))
-            .field("crashed_runs",
-                   static_cast<uint64_t>(p.crashedRuns))
-            .field("restarted_runs",
-                   static_cast<uint64_t>(p.restartedRuns))
-            .field("gap_reports", p.gapWidths.count())
-            .field("gap_mean_cycles",
-                   p.gapWidths.empty() ? 0.0 : p.gapWidths.mean())
-            .field("gap_p95_cycles",
-                   p.gapWidths.empty() ? 0.0
-                                       : p.gapWidths.quantile(0.95))
-            .field("gap_max_cycles",
-                   p.gapWidths.empty() ? 0.0 : p.gapWidths.max())
-            .field("downtime_cycles", p.downtimeCycles)
-            .field("frozen_cycles", p.frozenCycles)
-            .field("benign_kills", p.totalKills)
-            .endObject();
+        const std::string prefix = std::string("gap_sweep.") +
+            recoveryPolicyName(p.policy) + ".w" +
+            std::to_string(p.detectWindow);
+        const auto c = [&](const char *name, uint64_t value) {
+            registry.counter(prefix + "." + name).set(value);
+        };
+        c("runs", p.runs);
+        c("crashed_runs", p.crashedRuns);
+        c("restarted_runs", p.restartedRuns);
+        c("gap_reports", p.gapWidths.count());
+        c("downtime_cycles", p.downtimeCycles);
+        c("frozen_cycles", p.frozenCycles);
+        c("benign_kills", p.totalKills);
+        registry.gauge(prefix + ".gap_mean_cycles")
+            .set(p.gapWidths.empty() ? 0.0 : p.gapWidths.mean());
+        registry.gauge(prefix + ".gap_p95_cycles")
+            .set(p.gapWidths.empty() ? 0.0
+                                     : p.gapWidths.quantile(0.95));
+        registry.gauge(prefix + ".gap_max_cycles")
+            .set(p.gapWidths.empty() ? 0.0 : p.gapWidths.max());
     }
-    json.endArray().key("replay_sweep").beginArray();
     for (const auto &p : replays) {
-        json.beginObject()
-            .field("compact_every_records",
-                   static_cast<uint64_t>(p.compactEvery))
-            .field("journal_appends", p.journalAppends)
-            .field("compactions", p.compactions)
-            .field("replayed_records", p.replayedRecords)
-            .field("replayed_credit_transitions",
-                   p.replayedTransitions)
-            .field("snapshot_bytes", p.snapshotBytes)
-            .endObject();
+        const std::string prefix = "replay_sweep.every" +
+            std::to_string(p.compactEvery);
+        const auto c = [&](const char *name, uint64_t value) {
+            registry.counter(prefix + "." + name).set(value);
+        };
+        c("journal_appends", p.journalAppends);
+        c("compactions", p.compactions);
+        c("replayed_records", p.replayedRecords);
+        c("replayed_credit_transitions", p.replayedTransitions);
+        c("snapshot_bytes", p.snapshotBytes);
     }
-    json.endArray()
-        .key("attack_survival")
-        .beginObject()
-        .field("baseline_detected", attack.baselineDetected)
-        .field("crashed_runs",
-               static_cast<uint64_t>(attack.crashedRuns))
-        .field("detected_runs",
-               static_cast<uint64_t>(attack.detectedRuns))
-        .endObject()
-        .field("acceptance_failures",
-               static_cast<uint64_t>(failures))
-        .endObject();
-    json.writeFile("BENCH_recovery.json");
+    registry.counter("attack_survival.baseline_detected")
+        .set(attack.baselineDetected ? 1 : 0);
+    registry.counter("attack_survival.crashed_runs")
+        .set(attack.crashedRuns);
+    registry.counter("attack_survival.detected_runs")
+        .set(attack.detectedRuns);
+    registry.counter("acceptance_failures").set(failures);
+    telemetry::writeBenchJson("BENCH_recovery.json", "recovery",
+                              smoke, registry);
     std::printf("wrote BENCH_recovery.json\n");
 }
 

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Telemetry overhead bench: what observability costs on the check
+ * path, measured as real (wall-clock) simulator throughput across
+ * the fig5a server workloads.
+ *
+ * Four modes, cumulative in what they pay for:
+ *
+ *   off     telemetryOff — no hub, no spans, no rings (baseline)
+ *   null    run-local hub, NullSink — spans + flight rings record,
+ *           nothing serializes (the production default)
+ *   jsonl   external hub + JsonlSink — full event stream to memory
+ *   chrome  external hub + ChromeTraceSink — buffered trace events
+ *
+ * Acceptance: the null-hub mode (what every protected run now pays
+ * so convictions carry flight recorders) must stay within
+ * kNullOverheadBoundPct of the telemetry-off wall clock, min-of-reps
+ * against min-of-reps. Past the bound the process exits non-zero, so
+ * the CI smoke run is a regression gate for the disabled path.
+ *
+ * Results go to stdout and BENCH_telemetry.json; the jsonl/chrome
+ * artifacts of the last workload are written next to it
+ * (telemetry_events.jsonl, telemetry_trace.json,
+ * telemetry_metrics.json) so CI uploads a Perfetto-loadable trace of
+ * a real protected run.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "telemetry/telemetry.hh"
+
+namespace {
+
+using namespace flowguard;
+using namespace flowguard::bench;
+
+bool smoke = false;
+int failures = 0;
+
+/** Null-hub wall-clock overhead past this fails the bench. The
+ *  disabled path is a handful of pointer checks and ring copies per
+ *  endpoint; double-digit percentages would mean instrumentation
+ *  leaked into the hot interpreter loop. Min-of-reps absorbs most CI
+ *  scheduling noise; the margin absorbs the rest. */
+constexpr double kNullOverheadBoundPct = 10.0;
+
+void
+require(bool ok, const char *what)
+{
+    if (!ok) {
+        std::printf("ACCEPTANCE FAILED: %s\n", what);
+        ++failures;
+    }
+}
+
+enum class Mode { Off, NullHub, Jsonl, Chrome };
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::Off: return "off";
+      case Mode::NullHub: return "null";
+      case Mode::Jsonl: return "jsonl";
+      case Mode::Chrome: return "chrome";
+    }
+    return "?";
+}
+
+struct ModeResult
+{
+    double bestSeconds = 0.0;
+    uint64_t events = 0;        ///< sink events (streaming modes)
+    FlowGuard::RunOutcome outcome;
+};
+
+/** Runs `input` under one telemetry mode, min-of-`reps` wall clock.
+ *  A fresh guard per rep keeps the measured work identical across
+ *  modes (no verdict-cache warm-up drift between them). */
+ModeResult
+measureMode(const workloads::SyntheticApp &app,
+            const workloads::ServerSpec &spec,
+            const std::vector<uint8_t> &input, Mode mode, int reps)
+{
+    ModeResult result;
+    result.bestSeconds = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+        telemetry::Telemetry hub;
+        telemetry::JsonlSink jsonl;
+        telemetry::ChromeTraceSink chrome;
+        FlowGuardConfig config;
+        if (mode == Mode::Off) {
+            config.telemetryOff = true;
+        } else if (mode != Mode::NullHub) {
+            hub.setSink(mode == Mode::Jsonl
+                            ? static_cast<telemetry::TelemetrySink *>(
+                                  &jsonl)
+                            : &chrome);
+            config.telemetry = &hub;
+        }
+        FlowGuard guard = trainedGuard(app, spec, smoke ? 20 : 40,
+                                       config);
+
+        const auto start = std::chrono::steady_clock::now();
+        auto outcome = guard.run(input);
+        const auto end = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(end - start).count();
+        result.bestSeconds = std::min(result.bestSeconds, seconds);
+        if (rep == 0) {
+            result.outcome = std::move(outcome);
+            result.events = mode == Mode::Jsonl ? jsonl.events()
+                          : mode == Mode::Chrome ? chrome.events()
+                          : 0;
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    std::printf("=== telemetry overhead: off / null-hub / jsonl / "
+                "chrome ===\n\n");
+
+    const int reps = smoke ? 3 : 5;
+    const size_t requests = smoke ? 60 : 160;
+    const Mode modes[] = {Mode::Off, Mode::NullHub, Mode::Jsonl,
+                          Mode::Chrome};
+
+    telemetry::MetricRegistry registry;
+    TablePrinter table({"server", "mode", "best-ms", "vs-off",
+                        "events", "checks"});
+    Accumulator null_overheads;
+
+    auto suite = workloads::serverSuite();
+    if (smoke)
+        suite.resize(1);
+
+    for (const auto &spec : suite) {
+        auto app = workloads::buildServerApp(spec);
+        const auto input = serverLoad(spec, requests, 901);
+
+        double off_seconds = 0.0;
+        for (Mode mode : modes) {
+            const ModeResult r =
+                measureMode(app, spec, input, mode, reps);
+            require(!r.outcome.attackDetected,
+                    "benign load convicted under telemetry");
+            if (mode == Mode::Off)
+                off_seconds = r.bestSeconds;
+            const double vs_off = off_seconds > 0.0
+                ? 100.0 * (r.bestSeconds - off_seconds) / off_seconds
+                : 0.0;
+            if (mode == Mode::NullHub)
+                null_overheads.add(vs_off);
+
+            const std::string prefix = std::string("overhead.") +
+                spec.name + "." + modeName(mode);
+            registry.gauge(prefix + ".best_ms")
+                .set(r.bestSeconds * 1e3);
+            registry.gauge(prefix + ".vs_off_pct").set(vs_off);
+            registry.counter(prefix + ".sink_events").set(r.events);
+            table.addRow({spec.name, modeName(mode),
+                          TablePrinter::fmt(r.bestSeconds * 1e3, 2),
+                          pct(vs_off), std::to_string(r.events),
+                          std::to_string(r.outcome.monitor.checks)});
+        }
+    }
+    table.print();
+
+    const double worst_null = null_overheads.max();
+    std::printf("\nnull-hub overhead vs off: mean %s, worst %s "
+                "(bound %s)\n",
+                pct(null_overheads.mean()).c_str(),
+                pct(worst_null).c_str(),
+                pct(kNullOverheadBoundPct).c_str());
+    require(worst_null <= kNullOverheadBoundPct,
+            "null-sink telemetry overhead exceeded the stated bound");
+
+    // --- artifacts: one fully-instrumented run of the first server --------
+    {
+        const auto &spec = suite.front();
+        auto app = workloads::buildServerApp(spec);
+        telemetry::Telemetry hub;
+        telemetry::JsonlSink jsonl;
+        hub.setSink(&jsonl);
+        FlowGuardConfig config;
+        config.telemetry = &hub;
+        FlowGuard guard = trainedGuard(app, spec, smoke ? 20 : 40,
+                                       config);
+        auto outcome = guard.run(serverLoad(spec, requests, 901));
+        require(!outcome.attackDetected,
+                "artifact run convicted benign load");
+
+        jsonl.writeFile("telemetry_events.jsonl");
+        telemetry::ChromeTraceSink chrome;
+        for (const auto &event :
+             hub.dumpRecorder(app.program.cr3()))
+            chrome.onEvent(event);
+        chrome.writeFile("telemetry_trace.json");
+
+        runtime::registerMonitorMetrics(hub.metrics(),
+                                        outcome.monitor, "monitor");
+        trace::registerIptMetrics(hub.metrics(), outcome.trace,
+                                  "ipt");
+        hub.metrics().collect();
+        JsonWriter metrics_json;
+        hub.metrics().writeJson(metrics_json);
+        metrics_json.writeFile("telemetry_metrics.json");
+
+        registry.counter("artifacts.jsonl_events").set(jsonl.events());
+        registry.counter("artifacts.trace_events").set(chrome.events());
+        std::printf("wrote telemetry_events.jsonl (%llu events), "
+                    "telemetry_trace.json, telemetry_metrics.json\n",
+                    static_cast<unsigned long long>(jsonl.events()));
+        require(jsonl.events() > 0, "instrumented run emitted nothing");
+    }
+
+    registry.counter("acceptance_failures").set(failures);
+    telemetry::writeBenchJson("BENCH_telemetry.json", "telemetry",
+                              smoke, registry);
+    std::printf("wrote BENCH_telemetry.json\n");
+    return failures == 0 ? 0 : 1;
+}

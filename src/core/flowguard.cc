@@ -118,6 +118,17 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
     analyze();
     RunOutcome outcome;
 
+    // Run-local observability: unless configured off, every run has a
+    // hub, so violation reports carry flight-recorder snapshots even
+    // when nobody asked for a trace. An external hub (the caller's
+    // sink and registry) takes precedence over the local null-sink
+    // one; either way the clock is this run's simulated cycle count
+    // (application cycles plus modeled checking overhead).
+    telemetry::Telemetry local_hub;
+    telemetry::Telemetry *hub = nullptr;
+    if (!_config.telemetryOff)
+        hub = _config.telemetry ? _config.telemetry : &local_hub;
+
     cpu::Cpu cpu(_program);
 
     trace::Topa topa(_config.topaRegions);
@@ -161,6 +172,20 @@ FlowGuard::run(const std::vector<uint8_t> &input, uint64_t max_insts)
         dyn->startUnloaded(_config.dynamicModules);
         monitor.attachDynamic(*dyn);
         kernel.addCodeEventSink(dyn.get());
+    }
+
+    if (hub) {
+        hub->setClock([&cpu, &outcome] {
+            return static_cast<uint64_t>(
+                static_cast<double>(cpu.instCount()) *
+                    cpu::cost::app_cpi +
+                outcome.cycles.overheadTotal());
+        });
+        monitor.setTelemetry(hub, _program.cr3());
+        encoder.setTelemetry(hub, _program.cr3());
+        kernel.attachTelemetry(hub);
+        if (pmi)
+            pmi->setTelemetry(hub, _program.cr3());
     }
 
     outcome.stop = cpu.run(max_insts);
@@ -242,6 +267,15 @@ FlowGuard::makeProcessHarness(const isa::Program &program)
             program, *harness->itc, _config.jitPolicy);
         harness->dyn->startUnloaded(_config.dynamicModules);
         harness->monitor->attachDynamic(*harness->dyn);
+    }
+    // Service harnesses only wire an external hub: the service layer
+    // owns the clock (scheduler virtual time), and a run-local hub
+    // would die with this function's caller anyway.
+    if (_config.telemetry && !_config.telemetryOff) {
+        harness->monitor->setTelemetry(_config.telemetry,
+                                       program.cr3());
+        harness->encoder->setTelemetry(_config.telemetry,
+                                       program.cr3());
     }
     return harness;
 }

@@ -88,6 +88,20 @@ struct FlowGuardConfig
     /** Enable the dynamic-code subsystem even with no initially
      *  unloaded modules (JIT-only workloads). */
     bool dynamicTracking = false;
+
+    // --- observability (src/telemetry) ------------------------------------
+    /**
+     * External telemetry hub. When set, run() and makeProcessHarness()
+     * wire it through the kernel, monitor, encoder and PMI guard, so
+     * the caller's sink sees the whole check lifecycle. When null,
+     * run() builds a run-local hub (null sink) purely so violation
+     * reports still carry flight-recorder snapshots. Must outlive the
+     * guard's runs/harnesses.
+     */
+    telemetry::Telemetry *telemetry = nullptr;
+    /** Disables even the run-local hub: zero observability
+     *  instrumentation on the check path (bench baseline). */
+    bool telemetryOff = false;
 };
 
 class FlowGuard

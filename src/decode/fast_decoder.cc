@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hh"
+
 namespace flowguard::decode {
 
 using trace::Packet;
@@ -16,6 +18,27 @@ charge(cpu::CycleAccount *account, uint64_t bytes)
     if (account)
         account->decode += static_cast<double>(bytes) *
                            cpu::cost::sw_packet_decode_per_byte;
+}
+
+/** FastDecode span + loss instants; call after charge() so the span
+ *  end carries the decode's own modeled cycles. */
+void
+report(telemetry::Telemetry *tel, uint64_t cr3, uint64_t begin,
+       const FastDecodeResult &result)
+{
+    if (!tel)
+        return;
+    tel->completeSpan(telemetry::SpanKind::FastDecode, cr3, 0, begin,
+                      tel->now(), 0, result.steps.size(),
+                      result.bytesScanned);
+    if (result.overflows) {
+        tel->instant(telemetry::EventKind::Overflow, cr3, 0,
+                     result.overflows);
+    }
+    if (result.resyncs || result.bytesSkipped) {
+        tel->instant(telemetry::EventKind::Resync, cr3, 0,
+                     result.resyncs, result.bytesSkipped);
+    }
 }
 
 FastDecodeResult
@@ -102,31 +125,38 @@ decodeFrom(const uint8_t *data, size_t size, size_t start,
 
 FastDecodeResult
 decodePacketLayer(const uint8_t *data, size_t size,
-                  cpu::CycleAccount *account)
+                  cpu::CycleAccount *account,
+                  telemetry::Telemetry *telemetry, uint64_t cr3)
 {
+    const uint64_t begin = telemetry ? telemetry->now() : 0;
     FastDecodeResult result = decodeFrom(data, size, 0);
     charge(account, result.bytesScanned);
+    report(telemetry, cr3, begin, result);
     return result;
 }
 
 FastDecodeResult
 decodePacketLayer(const std::vector<uint8_t> &data,
-                  cpu::CycleAccount *account)
+                  cpu::CycleAccount *account,
+                  telemetry::Telemetry *telemetry, uint64_t cr3)
 {
-    return decodePacketLayer(data.data(), data.size(), account);
+    return decodePacketLayer(data.data(), data.size(), account,
+                             telemetry, cr3);
 }
 
 FastDecodeResult
 decodeRecentTips(const uint8_t *data, size_t size, size_t min_tips,
-                 cpu::CycleAccount *account)
+                 cpu::CycleAccount *account,
+                 telemetry::Telemetry *telemetry, uint64_t cr3)
 {
+    const uint64_t begin = telemetry ? telemetry->now() : 0;
     // PSB sync points let us begin decoding anywhere; walk backwards
     // segment by segment until the suffix holds enough TIP packets,
     // then emit the suffix in one chronological pass. Each byte is
     // touched at most twice (count pass + emit pass).
     std::vector<uint64_t> syncs = trace::findPsbOffsets(data, size);
     if (syncs.empty())
-        return decodePacketLayer(data, size, account);
+        return decodePacketLayer(data, size, account, telemetry, cr3);
 
     uint64_t scanned = 0;
     size_t cutoff = syncs.size() - 1;
@@ -162,14 +192,17 @@ decodeRecentTips(const uint8_t *data, size_t size, size_t min_tips,
             result.steps.front().lossBefore = true;
     }
     charge(account, scanned);
+    report(telemetry, cr3, begin, result);
     return result;
 }
 
 FastDecodeResult
 decodeRecentTips(const std::vector<uint8_t> &data, size_t min_tips,
-                 cpu::CycleAccount *account)
+                 cpu::CycleAccount *account,
+                 telemetry::Telemetry *telemetry, uint64_t cr3)
 {
-    return decodeRecentTips(data.data(), data.size(), min_tips, account);
+    return decodeRecentTips(data.data(), data.size(), min_tips, account,
+                            telemetry, cr3);
 }
 
 size_t

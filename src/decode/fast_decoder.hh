@@ -25,6 +25,10 @@
 #include "cpu/cost_model.hh"
 #include "trace/ipt_packets.hh"
 
+namespace flowguard::telemetry {
+class Telemetry;
+} // namespace flowguard::telemetry
+
 namespace flowguard::decode {
 
 /** Classes of flow-relevant packets surfaced to checkers. */
@@ -78,12 +82,20 @@ struct FastDecodeResult
 /**
  * Decodes the entire buffer at the packet layer.
  * Charges cost::sw_packet_decode_per_byte into account->decode.
+ *
+ * `telemetry`, when given, gets a FastDecode span covering the decode
+ * plus Overflow/Resync instants for any loss the window carried —
+ * attributed to process `cr3`.
  */
 FastDecodeResult decodePacketLayer(const uint8_t *data, size_t size,
-                                   cpu::CycleAccount *account = nullptr);
+                                   cpu::CycleAccount *account = nullptr,
+                                   telemetry::Telemetry *telemetry = nullptr,
+                                   uint64_t cr3 = 0);
 
 FastDecodeResult decodePacketLayer(const std::vector<uint8_t> &data,
-                                   cpu::CycleAccount *account = nullptr);
+                                   cpu::CycleAccount *account = nullptr,
+                                   telemetry::Telemetry *telemetry = nullptr,
+                                   uint64_t cr3 = 0);
 
 /**
  * Decodes only enough of the tail of the buffer to recover at least
@@ -97,11 +109,15 @@ FastDecodeResult decodePacketLayer(const std::vector<uint8_t> &data,
  */
 FastDecodeResult decodeRecentTips(const uint8_t *data, size_t size,
                                   size_t min_tips,
-                                  cpu::CycleAccount *account = nullptr);
+                                  cpu::CycleAccount *account = nullptr,
+                                  telemetry::Telemetry *telemetry = nullptr,
+                                  uint64_t cr3 = 0);
 
 FastDecodeResult decodeRecentTips(const std::vector<uint8_t> &data,
                                   size_t min_tips,
-                                  cpu::CycleAccount *account = nullptr);
+                                  cpu::CycleAccount *account = nullptr,
+                                  telemetry::Telemetry *telemetry = nullptr,
+                                  uint64_t cr3 = 0);
 
 /**
  * Decoder resynchronization point after a protection gap: the byte

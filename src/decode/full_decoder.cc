@@ -1,6 +1,7 @@
 #include "decode/full_decoder.hh"
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/ipt_packets.hh"
 
 namespace flowguard::decode {
@@ -41,8 +42,10 @@ struct EventStream
 
 FullDecodeResult
 decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
-                      size_t size, cpu::CycleAccount *account)
+                      size_t size, cpu::CycleAccount *account,
+                      telemetry::Telemetry *telemetry, uint64_t cr3)
 {
+    const uint64_t span_begin = telemetry ? telemetry->now() : 0;
     FullDecodeResult result;
 
     // --- flatten packets into an event stream ---------------------------
@@ -352,16 +355,23 @@ decodeInstructionFlow(const isa::Program &program, const uint8_t *data,
             static_cast<double>(tips) *
                 cpu::cost::sw_full_decode_per_tip;
     }
+    if (telemetry) {
+        telemetry->completeSpan(telemetry::SpanKind::FullDecode, cr3,
+                                0, span_begin, telemetry->now(), 0,
+                                result.instructionsWalked,
+                                result.branches.size());
+    }
     return result;
 }
 
 FullDecodeResult
 decodeInstructionFlow(const isa::Program &program,
                       const std::vector<uint8_t> &data,
-                      cpu::CycleAccount *account)
+                      cpu::CycleAccount *account,
+                      telemetry::Telemetry *telemetry, uint64_t cr3)
 {
     return decodeInstructionFlow(program, data.data(), data.size(),
-                                 account);
+                                 account, telemetry, cr3);
 }
 
 } // namespace flowguard::decode

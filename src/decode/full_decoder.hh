@@ -28,6 +28,10 @@
 #include "cpu/events.hh"
 #include "isa/program.hh"
 
+namespace flowguard::telemetry {
+class Telemetry;
+} // namespace flowguard::telemetry
+
 namespace flowguard::decode {
 
 /** One reconstructed control transfer. */
@@ -90,11 +94,13 @@ struct FullDecodeResult
  */
 FullDecodeResult decodeInstructionFlow(
     const isa::Program &program, const uint8_t *data, size_t size,
-    cpu::CycleAccount *account = nullptr);
+    cpu::CycleAccount *account = nullptr,
+    telemetry::Telemetry *telemetry = nullptr, uint64_t cr3 = 0);
 
 FullDecodeResult decodeInstructionFlow(
     const isa::Program &program, const std::vector<uint8_t> &data,
-    cpu::CycleAccount *account = nullptr);
+    cpu::CycleAccount *account = nullptr,
+    telemetry::Telemetry *telemetry = nullptr, uint64_t cr3 = 0);
 
 } // namespace flowguard::decode
 

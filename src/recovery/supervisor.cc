@@ -80,6 +80,19 @@ RecoverySupervisor::crash(uint64_t now, bool hang)
         ++_stats.hangs;
     else
         ++_stats.crashes;
+    if (_telemetry) {
+        // The checker just died; the per-process rings are the black
+        // box. Dump them now — through the sink, so the trace shows
+        // the final approach, and into crashDumps() for triage —
+        // before anything post-crash pushes the tail events out.
+        _telemetry->instant(telemetry::EventKind::CheckerCrash,
+                            /*cr3=*/0, /*seq=*/0,
+                            /*a=*/hang ? 1 : 0, /*b=*/now);
+        _crashDumps.clear();
+        for (const auto &entry : _procs)
+            _crashDumps[entry.first] =
+                _telemetry->dumpRecorder(entry.first);
+    }
     _state = State::Dead;
     _downAt = now;
     _detectAt = now + _config.heartbeatIntervalCycles *
@@ -119,6 +132,10 @@ void
 RecoverySupervisor::restart(uint64_t now)
 {
     ++_stats.restarts;
+    if (_telemetry)
+        _telemetry->instant(telemetry::EventKind::CheckerRestart,
+                            /*cr3=*/0, /*seq=*/0,
+                            /*a=*/now - _downAt, /*b=*/now);
     _stats.downtimeCycles += now - _downAt;
     if (_config.policy == RecoveryPolicy::FailClosed)
         _stats.frozenCycles += _config.restartLatencyCycles;
@@ -242,6 +259,8 @@ RecoverySupervisor::restart(uint64_t now)
                 recoveryPolicyName(_config.policy) + ", detect at " +
                 std::to_string(_detectAt) + ", up at " +
                 std::to_string(now) + ")";
+            if (_telemetry)
+                gap.flight = _telemetry->snapshotFlight(entry.first);
             _gapWidths.add(
                 static_cast<double>(gap.to - gap.from));
             _reports.push_back(std::move(gap));
@@ -314,6 +333,8 @@ RecoverySupervisor::emitGapReports(uint64_t now)
         gap.reason = std::string("checker still down at drain (") +
             std::to_string(now - _downAt) + " cycles, policy " +
             recoveryPolicyName(_config.policy) + ")";
+        if (_telemetry)
+            gap.flight = _telemetry->snapshotFlight(entry.first);
         _gapWidths.add(static_cast<double>(gap.to - gap.from));
         _reports.push_back(std::move(gap));
         proc.inGap = false;

@@ -151,6 +151,28 @@ class RecoverySupervisor : public runtime::RecoveryHooks,
     }
 
     /**
+     * Wires the observability layer. On checker death the supervisor
+     * emits a CheckerCrash instant and dumps every process's flight
+     * recorder (re-emitted through the sink and kept in crashDumps()
+     * for post-mortem triage — the volatile ring is the black box of
+     * the crash); restart emits a CheckerRestart instant, and every
+     * ProtectionGap report is stamped with the process's flight
+     * snapshot. Optional.
+     */
+    void setTelemetry(telemetry::Telemetry *telemetry)
+    {
+        _telemetry = telemetry;
+    }
+
+    /** Per-process flight-recorder dumps captured at the most recent
+     *  checker crash (empty when no telemetry hub is attached). */
+    const std::map<uint64_t, std::vector<telemetry::FlightEvent>> &
+    crashDumps() const
+    {
+        return _crashDumps;
+    }
+
+    /**
      * Registers a protected process with the recovery layer. Hooks
      * the monitor's commit observer (journaling every credit commit)
      * and opens the process's ledger account at the CPU's current
@@ -228,6 +250,8 @@ class RecoverySupervisor : public runtime::RecoveryHooks,
     RecoveryConfig _config;
     runtime::ProtectionService *_service = nullptr;
     trace::FaultInjector *_faults = nullptr;
+    telemetry::Telemetry *_telemetry = nullptr;
+    std::map<uint64_t, std::vector<telemetry::FlightEvent>> _crashDumps;
     std::map<uint64_t, ProcessRefs> _procs;
 
     StateJournal _journal;

@@ -16,14 +16,21 @@ FastPathChecker::FastPathChecker(const analysis::ItcCfg &itc,
 FastPathResult
 FastPathChecker::check(const std::vector<uint8_t> &packets) const
 {
+    telemetry::ScopedSpan span(_telemetry,
+                               telemetry::SpanKind::FastCheck,
+                               _telemetryCr3);
     auto flow = decode::decodeRecentTips(packets, _config.pktCount,
-                                         _account);
+                                         _account, _telemetry,
+                                         _telemetryCr3);
     auto transitions = decode::extractTipTransitions(flow);
     FastPathResult result = checkTransitions(transitions);
     result.overflows = flow.overflows;
     result.resyncs = flow.resyncs;
     result.bytesSkipped = flow.bytesSkipped;
     result.malformed = flow.malformed;
+    span.setVerdict(static_cast<uint8_t>(result.verdict));
+    if (result.verdict == CheckVerdict::Violation)
+        span.setPayload(result.violatingFrom, result.violatingTo);
     return result;
 }
 

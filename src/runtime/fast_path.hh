@@ -28,6 +28,7 @@
 #include "decode/fast_decoder.hh"
 #include "dynamic/module_map.hh"
 #include "isa/program.hh"
+#include "telemetry/telemetry.hh"
 
 namespace flowguard::runtime {
 
@@ -134,6 +135,15 @@ class FastPathChecker
         _jitPolicy = policy;
     }
 
+    /** Emits FastCheck spans (and nested decode spans) for process
+     *  `cr3` through `telemetry`; nullptr disables. */
+    void
+    setTelemetry(telemetry::Telemetry *telemetry, uint64_t cr3)
+    {
+        _telemetry = telemetry;
+        _telemetryCr3 = cr3;
+    }
+
   private:
     const analysis::ItcCfg &_itc;
     const isa::Program &_program;
@@ -142,6 +152,8 @@ class FastPathChecker
     const analysis::PathIndex *_paths;
     const dynamic::ModuleMap *_map = nullptr;
     dynamic::JitPolicy _jitPolicy = dynamic::JitPolicy::Allowlist;
+    telemetry::Telemetry *_telemetry = nullptr;
+    uint64_t _telemetryCr3 = 0;
 };
 
 } // namespace flowguard::runtime

@@ -85,6 +85,10 @@ FlowGuardKernel::killWith(ViolationReport report)
 {
     warn("FlowGuard: ", violationKindName(report.kind), " — SIGKILL (",
          report.reason, ")");
+    // Stamp the report with the process's last-N-events story unless
+    // the producer already snapshotted closer to the conviction.
+    if (_telemetry && report.flight.empty())
+        report.flight = _telemetry->snapshotFlight(report.cr3);
     _violations.push_back(std::move(report));
     ++_kills;
     cpu::SyscallResult result;
@@ -140,6 +144,9 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
             // can fire, while the module map still shows the code
             // live.
             ++_endpointHits;
+            telemetry::ScopedSpan trap(_telemetry,
+                                       telemetry::SpanKind::Barrier,
+                                       cr3);
             EndpointDecision decision =
                 _service->codeBarrier(cpu, number);
             if (decision.kill)
@@ -152,6 +159,9 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
             (_service->isProtected(cr3) ||
              _service->recoveryGatePending(cr3))) {
             ++_endpointHits;
+            telemetry::ScopedSpan trap(_telemetry,
+                                       telemetry::SpanKind::Trap,
+                                       cr3);
             EndpointDecision decision =
                 _service->onEndpoint(cpu, number);
             if (decision.kill)
@@ -178,14 +188,28 @@ FlowGuardKernel::onSyscall(cpu::Cpu &cpu, int64_t number)
         if (endpoint.account)
             endpoint.account->other += cpu::cost::intercept_per_syscall;
 
+        telemetry::ScopedSpan trap(
+            _telemetry,
+            barrier ? telemetry::SpanKind::Barrier
+                    : telemetry::SpanKind::Trap,
+            cr3, endpoint.seq);
         endpoint.encoder->flushTnt();
+        std::vector<uint8_t> window;
+        {
+            telemetry::ScopedSpan drain(
+                _telemetry, telemetry::SpanKind::TopaDrain, cr3,
+                endpoint.seq);
+            window = endpoint.topa->snapshot();
+            drain.setPayload(window.size());
+        }
         // A code-retiring syscall is a barrier: every pre-unload TIP
         // in the buffer is judged now, while the module map still
         // shows the code live — after dispatch fires the unload
         // event, its range convicts on sight.
         const CheckVerdict verdict = barrier
-            ? endpoint.monitor->checkFull(endpoint.topa->snapshot())
-            : endpoint.monitor->check(endpoint.topa->snapshot());
+            ? endpoint.monitor->checkFull(window)
+            : endpoint.monitor->check(window);
+        trap.setVerdict(static_cast<uint8_t>(verdict));
         if (verdict == CheckVerdict::Violation) {
             ViolationReport report;
             report.cr3 = cr3;

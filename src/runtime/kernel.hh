@@ -29,6 +29,7 @@
 #include "cpu/basic_kernel.hh"
 #include "runtime/monitor.hh"
 #include "runtime/pmi.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/ipt.hh"
 
 namespace flowguard::runtime {
@@ -75,6 +76,14 @@ struct ViolationReport
     uint64_t from = 0;
     uint64_t to = 0;
     std::string reason;
+    /**
+     * Flight-recorder snapshot taken when the report was built: the
+     * last-N telemetry events (spans, decoder loss, credit commits,
+     * the conviction itself) for this process — the forensic story
+     * of how the verdict came about. Empty when no telemetry hub was
+     * attached.
+     */
+    std::vector<telemetry::FlightEvent> flight;
 };
 
 const char *violationKindName(ViolationReport::Kind kind);
@@ -124,6 +133,16 @@ class FlowGuardKernel : public cpu::BasicKernel
      */
     void attachPmi(PmiGuard &pmi) { _pmi = &pmi; }
 
+    /**
+     * Wires the observability layer: endpoint intercepts emit Trap /
+     * TopaDrain spans and every report killWith() files is stamped
+     * with the process's flight-recorder snapshot.
+     */
+    void attachTelemetry(telemetry::Telemetry *telemetry)
+    {
+        _telemetry = telemetry;
+    }
+
     cpu::SyscallResult onSyscall(cpu::Cpu &cpu,
                                  int64_t number) override;
 
@@ -171,6 +190,7 @@ class FlowGuardKernel : public cpu::BasicKernel
     std::map<uint64_t, Endpoint> _endpoints;
     ProtectionService *_service = nullptr;
     PmiGuard *_pmi = nullptr;
+    telemetry::Telemetry *_telemetry = nullptr;
     uint64_t _endpointHits = 0;
     uint64_t _kills = 0;
     std::vector<ViolationReport> _violations;

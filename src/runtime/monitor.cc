@@ -6,6 +6,73 @@
 
 namespace flowguard::runtime {
 
+bool
+MonitorStats::checkInvariants(std::string *why) const
+{
+    const auto fail = [&](const char *what) {
+        if (why)
+            *why = what;
+        return false;
+    };
+    if (checks !=
+        fastPass + fastViolations + lossViolations + escalations) {
+        return fail("checks != fastPass + fastViolations + "
+                    "lossViolations + escalations");
+    }
+    if (violations != fastViolations + slowViolations + lossViolations)
+        return fail("violations != fastViolations + slowViolations + "
+                    "lossViolations");
+    if (slowChecks != slowPass + slowViolations)
+        return fail("slowChecks != slowPass + slowViolations");
+    if (lossWindows != lossViolations + lossEscalations + lossAccepted)
+        return fail("lossWindows != lossViolations + lossEscalations "
+                    "+ lossAccepted");
+    if (highCreditEdges > edgesChecked)
+        return fail("highCreditEdges > edgesChecked");
+    if (lossEscalations > escalations)
+        return fail("lossEscalations > escalations");
+    return true;
+}
+
+void
+registerMonitorMetrics(telemetry::MetricRegistry &registry,
+                       const MonitorStats &stats,
+                       const std::string &prefix)
+{
+    registry.addSource(prefix, [&stats, prefix](
+                                   telemetry::MetricRegistry &reg) {
+        const auto set = [&](const char *name, uint64_t value) {
+            reg.counter(prefix + "." + name).set(value);
+        };
+        set("checks", stats.checks);
+        set("fast_pass", stats.fastPass);
+        set("fast_violations", stats.fastViolations);
+        set("escalations", stats.escalations);
+        set("slow_checks", stats.slowChecks);
+        set("slow_pass", stats.slowPass);
+        set("slow_violations", stats.slowViolations);
+        set("violations", stats.violations);
+        set("tips_checked", stats.tipsChecked);
+        set("edges_checked", stats.edgesChecked);
+        set("high_credit_edges", stats.highCreditEdges);
+        set("loss_windows", stats.lossWindows);
+        set("overflows", stats.overflows);
+        set("resyncs", stats.resyncs);
+        set("bytes_skipped", stats.bytesSkipped);
+        set("loss_escalations", stats.lossEscalations);
+        set("loss_violations", stats.lossViolations);
+        set("loss_accepted", stats.lossAccepted);
+        set("unknown_code_tips", stats.unknownCodeTips);
+        set("jit_waived_tips", stats.jitWaivedTips);
+        set("jit_degraded_checks", stats.jitDegradedChecks);
+        set("stale_violations", stats.staleViolations);
+        set("staged_invalidated", stats.stagedInvalidated);
+        reg.gauge(prefix + ".fast_path_rate")
+            .set(stats.fastPathRate());
+        reg.gauge(prefix + ".cred_ratio").set(stats.credRatio());
+    });
+}
+
 const char *
 lossPolicyName(LossPolicy policy)
 {
@@ -38,6 +105,7 @@ Monitor::checkFull(const std::vector<uint8_t> &packets)
                          _paths);
     if (_dynamic)
         full.setDynamic(&_dynamic->map(), _dynamic->policy());
+    full.setTelemetry(_telemetry, _telemetryCr3);
     return finishCheck(full.check(packets), packets);
 }
 
@@ -75,6 +143,15 @@ Monitor::invalidateStaged(uint64_t begin, uint64_t end)
         _cachePending = false;
     _stats.stagedInvalidated += dropped;
     return dropped;
+}
+
+void
+Monitor::setTelemetry(telemetry::Telemetry *telemetry, uint64_t cr3)
+{
+    _telemetry = telemetry;
+    _telemetryCr3 = cr3;
+    _fast.setTelemetry(telemetry, cr3);
+    _slow.setTelemetry(telemetry, cr3);
 }
 
 uint64_t
@@ -131,6 +208,10 @@ Monitor::resolveFast(FastPathResult fast)
         _lastSource = VerdictSource::LossPolicy;
         outcome.verdict = CheckVerdict::Violation;
         _verdictLog.push_back(static_cast<uint8_t>(outcome.verdict));
+        if (_telemetry) {
+            _telemetry->instant(telemetry::EventKind::Violation,
+                                _telemetryCr3);
+        }
         return outcome;
     }
     if (outcome.loss && _config.lossPolicy == LossPolicy::LogAndPass)
@@ -155,15 +236,23 @@ Monitor::resolveFast(FastPathResult fast)
         }
         if (_lastFast.verdict == CheckVerdict::Violation) {
             ++_stats.violations;
+            ++_stats.fastViolations;
             outcome.verdict = CheckVerdict::Violation;
             _verdictLog.push_back(
                 static_cast<uint8_t>(outcome.verdict));
+            if (_telemetry) {
+                _telemetry->instant(telemetry::EventKind::Violation,
+                                    _telemetryCr3, 0,
+                                    _lastFast.violatingFrom,
+                                    _lastFast.violatingTo);
+            }
             return outcome;
         }
     }
 
     outcome.needSlow = true;
     outcome.verdict = CheckVerdict::Suspicious;
+    ++_stats.escalations;
     if (escalate_loss)
         ++_stats.lossEscalations;
     return outcome;
@@ -182,8 +271,15 @@ Monitor::slowPhase(const std::vector<uint8_t> &packets, bool loss)
         ++_stats.staleViolations;
     if (_lastSlow.verdict == CheckVerdict::Violation) {
         ++_stats.violations;
+        ++_stats.slowViolations;
         _verdictLog.push_back(
             static_cast<uint8_t>(CheckVerdict::Violation));
+        if (_telemetry) {
+            _telemetry->instant(telemetry::EventKind::Violation,
+                                _telemetryCr3, 0,
+                                _lastSlow.violatingSource,
+                                _lastSlow.violatingTarget);
+        }
         return CheckVerdict::Violation;
     }
     ++_stats.slowPass;
@@ -227,6 +323,15 @@ Monitor::commitCache()
 {
     if (!_cachePending)
         return;
+    if (_telemetry) {
+        const uint64_t now = _telemetry->now();
+        _telemetry->completeSpan(telemetry::SpanKind::VerdictCommit,
+                                 _telemetryCr3, 0, now, now, 0,
+                                 _cacheTransitions.size());
+        _telemetry->instant(telemetry::EventKind::CreditCommit,
+                            _telemetryCr3, 0,
+                            _cacheTransitions.size());
+    }
     if (_commitObserver)
         _commitObserver(_cacheTransitions);
     replayCommit(_cacheTransitions);

@@ -66,8 +66,11 @@ struct MonitorStats
 {
     uint64_t checks = 0;
     uint64_t fastPass = 0;
+    uint64_t fastViolations = 0;    ///< convicted on the fast path
+    uint64_t escalations = 0;       ///< windows sent to the slow path
     uint64_t slowChecks = 0;
     uint64_t slowPass = 0;
+    uint64_t slowViolations = 0;    ///< convicted on the slow path
     uint64_t violations = 0;
     uint64_t tipsChecked = 0;
     uint64_t edgesChecked = 0;
@@ -108,6 +111,27 @@ struct MonitorStats
             : static_cast<double>(highCreditEdges) /
               static_cast<double>(edgesChecked);
     }
+
+    /**
+     * Verifies the accounting identities these counters promise:
+     *
+     *   checks      == fastPass + fastViolations + lossViolations
+     *                  + escalations
+     *   violations  == fastViolations + slowViolations
+     *                  + lossViolations
+     *   slowChecks  == slowPass + slowViolations   (note: audit and
+     *                  PMI-storm requests run slowPhase with no
+     *                  preceding fastPhase, so slowChecks may exceed
+     *                  escalations — only the partition holds)
+     *   lossWindows == lossViolations + lossEscalations
+     *                  + lossAccepted
+     *   highCreditEdges <= edgesChecked
+     *
+     * Returns false and describes the first broken identity in
+     * `why` (when given). Called from tests and, debug-only, from
+     * the service drain loop.
+     */
+    bool checkInvariants(std::string *why = nullptr) const;
 };
 
 class Monitor
@@ -272,6 +296,17 @@ class Monitor
      *  kernel turns these into UnknownCode audit reports). */
     uint64_t consumeUnknownAudit();
 
+    /**
+     * Wires the observability layer in: both checkers emit
+     * check/decode spans, convictions emit Violation instants
+     * carrying the offending edge, and commitCache() emits
+     * CreditCommit events — all attributed to process `cr3`.
+     * nullptr detaches.
+     */
+    void setTelemetry(telemetry::Telemetry *telemetry, uint64_t cr3);
+
+    telemetry::Telemetry *telemetry() const { return _telemetry; }
+
   private:
     CheckVerdict finishCheck(FastPathResult fast,
                              const std::vector<uint8_t> &packets);
@@ -299,7 +334,20 @@ class Monitor
     dynamic::DynamicGuard *_dynamic = nullptr;
     std::vector<uint8_t> _verdictLog;
     uint64_t _pendingUnknownAudit = 0;
+    telemetry::Telemetry *_telemetry = nullptr;
+    uint64_t _telemetryCr3 = 0;
 };
+
+/**
+ * Publishes a MonitorStats into a MetricRegistry as a live source:
+ * every collect() re-reads the struct, so the registry mirrors the
+ * monitor without the monitor changing its API. Names are
+ * "<prefix>.checks", "<prefix>.fast_pass", ... The struct must
+ * outlive the registry.
+ */
+void registerMonitorMetrics(telemetry::MetricRegistry &registry,
+                            const MonitorStats &stats,
+                            const std::string &prefix);
 
 } // namespace flowguard::runtime
 

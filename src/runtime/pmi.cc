@@ -14,6 +14,9 @@ void
 PmiGuard::onPmi()
 {
     ++_pmis;
+    telemetry::ScopedSpan span(_telemetry,
+                               telemetry::SpanKind::PmiCheck,
+                               _telemetryCr3, _pmis);
     if (_account)
         _account->other += cpu::cost::intercept_per_syscall;
     // The PMI fires from inside the encoder's own ToPA write, so the
@@ -21,8 +24,9 @@ PmiGuard::onPmi()
     // buffered conditional outcomes are deferred to the next window,
     // which the checker's head-truncation handling already tolerates.
     (void)_encoder;
-    if (_monitor.checkFull(_topa.snapshot()) ==
-        CheckVerdict::Violation) {
+    const CheckVerdict verdict = _monitor.checkFull(_topa.snapshot());
+    span.setVerdict(static_cast<uint8_t>(verdict));
+    if (verdict == CheckVerdict::Violation) {
         _violation = true;
         _violationWasLoss = _monitor.lastViolationWasLoss();
         _violationSource = _monitor.lastVerdictSource();
@@ -38,6 +42,7 @@ PmiGuard::onPmi()
           case Monitor::VerdictSource::LossPolicy:
             break;      // no flow evidence to report
         }
+        span.setPayload(_violationFrom, _violationTo);
     }
 }
 

@@ -55,6 +55,15 @@ class PmiGuard
     uint64_t violationFrom() const { return _violationFrom; }
     uint64_t violationTo() const { return _violationTo; }
 
+    /** Wires the observability layer: every PMI window check is a
+     *  PmiCheck span attributed to `cr3`. Optional. */
+    void
+    setTelemetry(telemetry::Telemetry *telemetry, uint64_t cr3)
+    {
+        _telemetry = telemetry;
+        _telemetryCr3 = cr3;
+    }
+
     /** Clears the pending flag (after the kill was delivered). */
     void
     acknowledge()
@@ -82,6 +91,8 @@ class PmiGuard
     uint64_t _violationFrom = 0;
     uint64_t _violationTo = 0;
     uint64_t _pmis = 0;
+    telemetry::Telemetry *_telemetry = nullptr;
+    uint64_t _telemetryCr3 = 0;
 };
 
 } // namespace flowguard::runtime

@@ -17,6 +17,34 @@ overloadPolicyName(OverloadPolicy policy)
     return "?";
 }
 
+bool
+SchedulerStats::checkInvariants(size_t pending, std::string *why)
+    const
+{
+    auto fail = [&](const char *what) {
+        if (why)
+            *why = what;
+        return false;
+    };
+    if (!balances(pending))
+        return fail("submitted != inlinePass + inlineViolations + "
+                    "timeoutConvictions + auditWaived + "
+                    "deferredDelivered + shedAudit + "
+                    "droppedQuarantined + lostToCrash + pending");
+    if (timeouts != timeoutConvictions + auditWaived + deferred)
+        return fail("timeouts != timeoutConvictions + auditWaived + "
+                    "deferred");
+    if (deferredDelivered > deferred)
+        return fail("deferredDelivered > deferred");
+    if (forcedRuns > deferredDelivered)
+        return fail("forcedRuns > deferredDelivered");
+    if (deferredDelivered != deferralAges.count())
+        return fail("deferredDelivered != deferralAges.count()");
+    if (maxQueueDepth < pending)
+        return fail("maxQueueDepth < live queue depth");
+    return true;
+}
+
 CheckScheduler::CheckScheduler(SchedulerConfig config, Executor execute,
                                CacheDecision cache, Delivery deliver)
     : _config(config), _execute(std::move(execute)),

@@ -147,6 +147,17 @@ struct SchedulerStats
             timeoutConvictions + auditWaived + deferredDelivered +
             shedAudit + droppedQuarantined + lostToCrash + pending;
     }
+
+    /**
+     * balances() plus the per-counter identities the queue mechanics
+     * imply: every deadline miss resolves to exactly one of
+     * {conviction, waiver, deferral}, deliveries never exceed
+     * enqueues, forced (queue-full) deliveries are deliveries, and
+     * the depth high-water mark covers the live queue. Returns false
+     * and describes the first broken identity in `why` (when given).
+     */
+    bool checkInvariants(size_t pending,
+                         std::string *why = nullptr) const;
 };
 
 class CheckScheduler

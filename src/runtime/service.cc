@@ -30,6 +30,25 @@ windowClassName(ProtectionWindowClass cls)
     return "?";
 }
 
+bool
+ServiceStats::checkInvariants(std::string *why) const
+{
+    auto fail = [&](const char *what) {
+        if (why)
+            *why = what;
+        return false;
+    };
+    if (endpointChecks != coalesced + inlineFastPass +
+            inlineFastViolations + escalations)
+        return fail("endpointChecks != coalesced + inlineFastPass + "
+                    "inlineFastViolations + escalations");
+    if (attachAttempts < attachRetries + attachFailures)
+        return fail("attachAttempts < attachRetries + attachFailures");
+    if (crashWipedKills < requeuedKills)
+        return fail("crashWipedKills < requeuedKills");
+    return true;
+}
+
 ProtectionService::ProtectionService(ServiceConfig config)
     : _config(config),
       _scheduler(
@@ -48,6 +67,23 @@ ProtectionService::ProtectionService(ServiceConfig config)
 {}
 
 void
+ProtectionService::setTelemetry(telemetry::Telemetry *telemetry)
+{
+    _telemetry = telemetry;
+    if (_telemetry) {
+        _histSlowCheck =
+            &_telemetry->metrics().histogram("service.slow_check_cycles");
+        _histDeferralAge =
+            &_telemetry->metrics().histogram("service.deferral_age_cycles");
+    } else {
+        _histSlowCheck = nullptr;
+        _histDeferralAge = nullptr;
+    }
+    for (auto &entry : _processes)
+        entry.second.monitor->setTelemetry(_telemetry, entry.first);
+}
+
+void
 ProtectionService::addProcess(uint64_t cr3, Monitor &monitor,
                               trace::IptEncoder &encoder,
                               trace::Topa &topa, cpu::Cpu &cpu,
@@ -61,6 +97,8 @@ ProtectionService::addProcess(uint64_t cr3, Monitor &monitor,
     record.cpu = &cpu;
     record.account = account;
     record.basePktCount = monitor.pktCount();
+    if (_telemetry)
+        monitor.setTelemetry(_telemetry, cr3);
     _processes[cr3] = std::move(record);
 }
 
@@ -175,6 +213,8 @@ ProtectionService::execute(const CheckRequest &request)
              cpu::cost::slow_check_per_branch));
     if (_faults)
         exec.costCycles += _faults->slowPathStallNow();
+    if (_histSlowCheck)
+        _histSlowCheck->record(exec.costCycles);
     return exec;
 }
 
@@ -199,6 +239,17 @@ ProtectionService::deliver(const CheckRequest &request,
     if (it == _processes.end())
         return;
     ProcessRecord &proc = it->second;
+    // The escalation's lifetime in one bounded span: enqueue at the
+    // endpoint, verdict `age` cycles later on the virtual clock.
+    if (_telemetry) {
+        _telemetry->completeSpan(
+            telemetry::SpanKind::SlowEscalate, proc.cr3, request.seq,
+            request.enqueuedAt, request.enqueuedAt + age,
+            static_cast<uint8_t>(exec.verdict), exec.violatingFrom,
+            exec.violatingTo);
+        if (_histDeferralAge)
+            _histDeferralAge->record(age);
+    }
     if (exec.verdict != CheckVerdict::Violation)
         return;
     ViolationReport report = violationReportFrom(proc, request.syscall,
@@ -219,6 +270,9 @@ ProtectionService::deliver(const CheckRequest &request,
     // after replay, deliver it twice.
     if (_recovery)
         _recovery->noteVerdictCommitted(report);
+    if (_telemetry)
+        _telemetry->instant(telemetry::EventKind::VerdictCommitted,
+                            proc.cr3, report.seq);
     proc.pendingKills.push_back(std::move(report));
 }
 
@@ -233,6 +287,16 @@ ProtectionService::consumePendingKill(uint64_t cr3,
     it->second.pendingKills.pop_front();
     if (_recovery)
         _recovery->noteVerdictDelivered(cr3, out.seq);
+    if (_telemetry) {
+        // Delivery is instantaneous on the sim clock: the kill lands
+        // at the syscall that consumed it. A zero-width span keeps it
+        // on the lifecycle track (trap → … → delivery) in the trace.
+        const uint64_t t = _telemetry->now();
+        _telemetry->completeSpan(telemetry::SpanKind::Delivery, cr3,
+                                 out.seq, t, t);
+        _telemetry->instant(telemetry::EventKind::VerdictDelivered,
+                            cr3, out.seq);
+    }
     return true;
 }
 
@@ -334,6 +398,7 @@ ProtectionService::onEndpoint(cpu::Cpu &cpu, int64_t syscall)
         noteWindow(proc, fast.loss ? ProtectionWindowClass::Lossy
                                    : ProtectionWindowClass::Checked);
         if (fast.verdict == CheckVerdict::Violation) {
+            ++_stats.inlineFastViolations;
             decision.kill = true;
             decision.report = reportFromMonitor(proc, syscall);
             return decision;
@@ -354,7 +419,7 @@ ProtectionService::onEndpoint(cpu::Cpu &cpu, int64_t syscall)
         _config.quarantineAction == QuarantineAction::Audit;
     request.packets = std::move(packets);
     const auto outcome = _scheduler.submit(std::move(request), now);
-    return resolve(proc, syscall, outcome, fast.loss);
+    return resolve(proc, syscall, outcome, fast.loss, now);
 }
 
 EndpointDecision
@@ -429,11 +494,30 @@ ProtectionService::codeBarrier(cpu::Cpu &cpu, int64_t syscall)
 EndpointDecision
 ProtectionService::resolve(ProcessRecord &proc, int64_t syscall,
                            const CheckScheduler::SubmitOutcome &out,
-                           bool loss)
+                           bool loss, uint64_t now)
 {
     EndpointDecision decision;
     const bool audit_class = proc.quarantined &&
         _config.quarantineAction == QuarantineAction::Audit;
+
+    // Escalations resolved at the endpoint get their span here; the
+    // deferred ones get theirs at deliver(), where the age is known.
+    // Shed work never ran, so there is no span to bound.
+    if (_telemetry &&
+        out.resolution != CheckResolution::Deferred &&
+        out.resolution != CheckResolution::Shed) {
+        uint64_t end = now + out.exec.costCycles;
+        uint8_t verdict = out.exec.ran
+            ? static_cast<uint8_t>(out.exec.verdict)
+            : static_cast<uint8_t>(CheckVerdict::Violation);
+        if (out.resolution == CheckResolution::TimeoutConviction &&
+            !out.exec.ran)
+            end = now + _config.scheduler.deadlineCycles;
+        _telemetry->completeSpan(
+            telemetry::SpanKind::SlowEscalate, proc.cr3, proc.seq,
+            now, end, verdict, out.exec.violatingFrom,
+            out.exec.violatingTo);
+    }
 
     // Attribute this window's cycles: a shed check is a gap (nothing
     // will ever judge it), a deferred one is late-but-guaranteed, a
@@ -475,6 +559,8 @@ ProtectionService::resolve(ProcessRecord &proc, int64_t syscall,
         report.syscall = syscall;
         report.reason =
             "check deadline exceeded (fail-closed overload policy)";
+        if (_telemetry)
+            report.flight = _telemetry->snapshotFlight(proc.cr3);
         decision.report = std::move(report);
         noteDeadlineMiss(proc, syscall, decision);
         break;
@@ -567,6 +653,8 @@ ProtectionService::violationReportFrom(const ProcessRecord &proc,
     report.to = exec.violatingTo;
     report.reason =
         exec.reason.empty() ? "slow path violation" : exec.reason;
+    if (_telemetry)
+        report.flight = _telemetry->snapshotFlight(proc.cr3);
     return report;
 }
 
@@ -595,6 +683,8 @@ ProtectionService::reportFromMonitor(const ProcessRecord &proc,
         report.reason = "slow path: " + monitor.lastSlow().reason;
         break;
     }
+    if (_telemetry)
+        report.flight = _telemetry->snapshotFlight(proc.cr3);
     return report;
 }
 
@@ -658,10 +748,30 @@ ProtectionService::drain()
             proc.pendingKills.pop_front();
             if (_recovery)
                 _recovery->noteVerdictDelivered(proc.cr3, report.seq);
+            if (_telemetry)
+                _telemetry->instant(
+                    telemetry::EventKind::VerdictDelivered, proc.cr3,
+                    report.seq);
             report.reason += " [post-mortem: process stopped first]";
             _reports.push_back(std::move(report));
         }
     }
+
+#ifndef NDEBUG
+    // Debug builds prove the accounting identities on every drained
+    // run: a broken identity is a lost or double-counted check, not a
+    // tolerable skew.
+    std::string why;
+    if (!_stats.checkInvariants(&why))
+        fg_panic("service stats identity broken: ", why);
+    if (!_scheduler.stats().checkInvariants(_scheduler.depth(), &why))
+        fg_panic("scheduler stats identity broken: ", why);
+    for (const auto &entry : _processes) {
+        if (!entry.second.monitor->stats().checkInvariants(&why))
+            fg_panic("monitor stats identity broken (cr3=",
+                     entry.first, "): ", why);
+    }
+#endif
 }
 
 size_t
@@ -730,6 +840,70 @@ ProtectionService::resyncCheck(uint64_t cr3)
     proc.encoder->restartStream();
     proc.lastCheckedWritten = proc.topa->totalWritten();
     return outcome;
+}
+
+void
+registerServiceMetrics(telemetry::MetricRegistry &registry,
+                       const ServiceStats &stats,
+                       const std::string &prefix)
+{
+    registry.addSource(prefix, [&stats, prefix](
+                                   telemetry::MetricRegistry &r) {
+        auto c = [&](const char *name, uint64_t value) {
+            r.counter(prefix + "." + name).set(value);
+        };
+        c("endpoint_checks", stats.endpointChecks);
+        c("barrier_checks", stats.barrierChecks);
+        c("coalesced", stats.coalesced);
+        c("inline_fast_pass", stats.inlineFastPass);
+        c("inline_fast_violations", stats.inlineFastViolations);
+        c("escalations", stats.escalations);
+        c("deferred_kills", stats.deferredKills);
+        c("audit_violations", stats.auditViolations);
+        c("quarantines", stats.quarantines);
+        c("pmi_storm_checks", stats.pmiStormChecks);
+        c("attach_attempts", stats.attachAttempts);
+        c("attach_retries", stats.attachRetries);
+        c("attach_failures", stats.attachFailures);
+        c("attach_backoff_cycles", stats.attachBackoffCycles);
+        c("gap_skipped", stats.gapSkipped);
+        c("crash_wiped_kills", stats.crashWipedKills);
+        c("requeued_kills", stats.requeuedKills);
+        c("resync_checks", stats.resyncChecks);
+    });
+}
+
+void
+registerSchedulerMetrics(telemetry::MetricRegistry &registry,
+                         const SchedulerStats &stats,
+                         const std::string &prefix)
+{
+    registry.addSource(prefix, [&stats, prefix](
+                                   telemetry::MetricRegistry &r) {
+        auto c = [&](const char *name, uint64_t value) {
+            r.counter(prefix + "." + name).set(value);
+        };
+        c("submitted", stats.submitted);
+        c("inline_pass", stats.inlinePass);
+        c("inline_violations", stats.inlineViolations);
+        c("timeout_convictions", stats.timeoutConvictions);
+        c("audit_waived", stats.auditWaived);
+        c("deferred", stats.deferred);
+        c("deferred_delivered", stats.deferredDelivered);
+        c("forced_runs", stats.forcedRuns);
+        c("shed_audit", stats.shedAudit);
+        c("dropped_quarantined", stats.droppedQuarantined);
+        c("lost_to_crash", stats.lostToCrash);
+        c("timeouts", stats.timeouts);
+        c("batch_raises", stats.batchRaises);
+        c("max_queue_depth", stats.maxQueueDepth);
+        if (!stats.deferralAges.empty()) {
+            r.gauge(prefix + ".deferral_age_mean")
+                .set(stats.deferralAges.mean());
+            r.gauge(prefix + ".deferral_age_p99")
+                .set(stats.deferralAges.quantile(0.99));
+        }
+    });
 }
 
 } // namespace flowguard::runtime

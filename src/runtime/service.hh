@@ -91,6 +91,7 @@ struct ServiceStats
     uint64_t barrierChecks = 0;     ///< code-unload barrier checks
     uint64_t coalesced = 0;         ///< checks skipped by batching
     uint64_t inlineFastPass = 0;    ///< resolved by fast phase alone
+    uint64_t inlineFastViolations = 0; ///< fast phase convicted inline
     uint64_t escalations = 0;       ///< submitted to the scheduler
     uint64_t deferredKills = 0;     ///< late verdicts turned SIGKILL
     uint64_t auditViolations = 0;   ///< violations observed, waived
@@ -106,6 +107,22 @@ struct ServiceStats
     uint64_t crashWipedKills = 0;   ///< pending kills lost to a crash
     uint64_t requeuedKills = 0;     ///< kills restored by journal replay
     uint64_t resyncChecks = 0;      ///< post-gap catch-up checks
+
+    /**
+     * The service-level accounting identities, as code:
+     *
+     *   endpointChecks == coalesced + inlineFastPass
+     *                   + inlineFastViolations + escalations
+     *   attachAttempts >= attachRetries + attachFailures
+     *
+     * Every endpoint hit the service accepted is either coalesced
+     * into a later window, resolved by the inline fast phase (pass or
+     * violation), or escalated to the scheduler — there is no fifth
+     * bucket. Returns false and describes the first broken identity
+     * in `why` (when given). Called from tests and, debug-only, from
+     * ProtectionService::drain().
+     */
+    bool checkInvariants(std::string *why = nullptr) const;
 };
 
 /** What the kernel should do with the endpoint that just fired. */
@@ -200,6 +217,17 @@ class ProtectionService
     /** Wires the crash-recovery subsystem in. Optional; absent means
      *  the checker is assumed immortal (the pre-recovery behavior). */
     void setRecoveryHooks(RecoveryHooks *hooks) { _recovery = hooks; }
+
+    /**
+     * Wires the observability layer. The service emits SlowEscalate
+     * spans (enqueue-to-verdict, on the scheduler's virtual clock),
+     * Delivery spans and VerdictCommitted/VerdictDelivered instants,
+     * records slow-check cost and deferral-age histograms, and stamps
+     * every report it files with the process's flight-recorder
+     * snapshot. Also forwards the hub to every registered monitor
+     * (current and future). Optional; nullptr detaches.
+     */
+    void setTelemetry(telemetry::Telemetry *telemetry);
 
     /**
      * Registers one process. The monitor should run with
@@ -368,10 +396,11 @@ class ProtectionService
     void cacheDecision(const CheckRequest &request, bool commit);
     void deliver(const CheckRequest &request,
                  const CheckExecution &exec, uint64_t age);
-    /** Applies a submit outcome; returns a kill decision if any. */
+    /** Applies a submit outcome; returns a kill decision if any.
+     *  `now` is the virtual time the escalation was submitted at. */
     EndpointDecision resolve(ProcessRecord &proc, int64_t syscall,
                              const CheckScheduler::SubmitOutcome &out,
-                             bool loss);
+                             bool loss, uint64_t now);
     /** Reports one window's class (and seq) to the recovery hooks. */
     void noteWindow(const ProcessRecord &proc,
                     ProtectionWindowClass cls);
@@ -389,12 +418,28 @@ class ProtectionService
     cpu::Machine *_machine = nullptr;
     trace::FaultInjector *_faults = nullptr;
     RecoveryHooks *_recovery = nullptr;
+    telemetry::Telemetry *_telemetry = nullptr;
+    /** Cached histogram handles (stable for the registry's life). */
+    telemetry::CycleHistogram *_histSlowCheck = nullptr;
+    telemetry::CycleHistogram *_histDeferralAge = nullptr;
     Rng _rng;
     std::map<uint64_t, ProcessRecord> _processes;
     std::vector<ViolationReport> _reports;
     ServiceStats _stats;
     bool _drained = false;
 };
+
+/**
+ * Publishes a ServiceStats / SchedulerStats into a MetricRegistry as
+ * live sources (re-read at every collect()), same contract as
+ * registerMonitorMetrics. The structs must outlive the registry.
+ */
+void registerServiceMetrics(telemetry::MetricRegistry &registry,
+                            const ServiceStats &stats,
+                            const std::string &prefix);
+void registerSchedulerMetrics(telemetry::MetricRegistry &registry,
+                              const SchedulerStats &stats,
+                              const std::string &prefix);
 
 } // namespace flowguard::runtime
 

@@ -69,6 +69,19 @@ SlowPathChecker::indirectCallAllowed(uint64_t source,
 SlowPathResult
 SlowPathChecker::check(const std::vector<uint8_t> &packets) const
 {
+    telemetry::ScopedSpan span(_telemetry,
+                               telemetry::SpanKind::SlowCheck,
+                               _telemetryCr3);
+    SlowPathResult result = checkImpl(packets);
+    span.setVerdict(static_cast<uint8_t>(result.verdict));
+    if (result.verdict == CheckVerdict::Violation)
+        span.setPayload(result.violatingSource, result.violatingTarget);
+    return result;
+}
+
+SlowPathResult
+SlowPathChecker::checkImpl(const std::vector<uint8_t> &packets) const
+{
     SlowPathResult result;
     // Anchor the expensive instruction-flow decode at the most recent
     // PSB whose suffix still covers ~100 TIP packets (the paper's
@@ -77,7 +90,8 @@ SlowPathChecker::check(const std::vector<uint8_t> &packets) const
     constexpr size_t slow_window_tips = 100;
     auto window =
         decode::decodeRecentTips(packets.data(), packets.size(),
-                                 slow_window_tips, nullptr);
+                                 slow_window_tips, nullptr,
+                                 _telemetry, _telemetryCr3);
 
     // --- dynamic-code pre-scan ------------------------------------------
     // Classify the window's TIP endpoints before committing to the
@@ -148,7 +162,7 @@ SlowPathChecker::check(const std::vector<uint8_t> &packets) const
     auto flow = decode::decodeInstructionFlow(
         _ocfg.program(), packets.data() + window.startOffset,
         packets.size() - static_cast<size_t>(window.startOffset),
-        _account);
+        _account, _telemetry, _telemetryCr3);
     result.instructionsWalked = flow.instructionsWalked;
     result.traceGaps = flow.overflows + flow.resyncs;
     result.bytesSkipped = flow.bytesSkipped;

@@ -76,7 +76,17 @@ class SlowPathChecker
         _itc = itc;
     }
 
+    /** Emits SlowCheck spans (and nested FullDecode spans) for
+     *  process `cr3` through `telemetry`; nullptr disables. */
+    void
+    setTelemetry(telemetry::Telemetry *telemetry, uint64_t cr3)
+    {
+        _telemetry = telemetry;
+        _telemetryCr3 = cr3;
+    }
+
   private:
+    SlowPathResult checkImpl(const std::vector<uint8_t> &packets) const;
     bool returnAllowedByCfg(uint64_t source, uint64_t target) const;
     bool indirectJumpAllowed(uint64_t source, uint64_t target) const;
     bool indirectCallAllowed(uint64_t source, uint64_t target) const;
@@ -87,6 +97,8 @@ class SlowPathChecker
     const dynamic::ModuleMap *_map = nullptr;
     dynamic::JitPolicy _jitPolicy = dynamic::JitPolicy::Allowlist;
     const analysis::ItcCfg *_itc = nullptr;
+    telemetry::Telemetry *_telemetry = nullptr;
+    uint64_t _telemetryCr3 = 0;
 };
 
 } // namespace flowguard::runtime

@@ -1,6 +1,7 @@
 #include "support/logging.hh"
 
 #include <cstdio>
+#include <unordered_map>
 
 namespace flowguard {
 
@@ -8,6 +9,13 @@ namespace {
 
 bool errors_throw = true;
 bool log_verbose = false;
+
+LogHook log_hook;
+uint64_t log_repeat_every = 100;
+uint64_t log_suppressed = 0;
+/** message -> occurrences; bounded by periodic reset (see emitLog). */
+std::unordered_map<std::string, uint64_t> dedup_counts;
+constexpr size_t dedup_table_cap = 4096;
 
 } // namespace
 
@@ -35,6 +43,37 @@ logVerbose()
     return log_verbose;
 }
 
+void
+setLogHook(LogHook hook)
+{
+    log_hook = std::move(hook);
+}
+
+void
+setLogRepeatEvery(uint64_t n)
+{
+    log_repeat_every = n ? n : 1;
+}
+
+uint64_t
+logRepeatEvery()
+{
+    return log_repeat_every;
+}
+
+uint64_t
+logSuppressed()
+{
+    return log_suppressed;
+}
+
+void
+resetLogDedup()
+{
+    dedup_counts.clear();
+    log_suppressed = 0;
+}
+
 namespace detail {
 
 void
@@ -52,10 +91,41 @@ raiseError(SimError::Kind kind, const std::string &msg,
     std::exit(1);
 }
 
+bool
+logHookActive()
+{
+    return static_cast<bool>(log_hook);
+}
+
 void
 emitLog(const char *prefix, const std::string &msg)
 {
-    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    if (log_hook)
+        log_hook(prefix, msg);
+    if (!log_verbose)
+        return;
+
+    // Duplicate suppression: first occurrence plus every Nth after
+    // that, so a fault-injection sweep repeating one warning ten
+    // thousand times prints it ~100 times, each stamped with the
+    // running count.
+    if (dedup_counts.size() >= dedup_table_cap)
+        dedup_counts.clear();
+    uint64_t &count =
+        ++dedup_counts[std::string(prefix) + '\x1f' + msg];
+    const bool print = log_repeat_every <= 1 || count == 1 ||
+        (count - 1) % log_repeat_every == 0;
+    if (!print) {
+        ++log_suppressed;
+        return;
+    }
+    if (count > 1) {
+        std::fprintf(stderr, "%s: %s [seen %llu times]\n", prefix,
+                     msg.c_str(),
+                     static_cast<unsigned long long>(count));
+    } else {
+        std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    }
 }
 
 } // namespace detail

@@ -13,7 +13,9 @@
 #ifndef FLOWGUARD_SUPPORT_LOGGING_HH
 #define FLOWGUARD_SUPPORT_LOGGING_HH
 
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -44,6 +46,9 @@ namespace detail {
 
 void emitLog(const char *prefix, const std::string &msg);
 
+/** True when a telemetry log hook is installed (see setLogHook). */
+bool logHookActive();
+
 /** Builds a message from stream-formattable pieces. */
 template <typename... Args>
 std::string
@@ -64,6 +69,32 @@ bool errorsThrow();
 /** Verbosity control for warn()/inform(). */
 void setLogVerbose(bool verbose);
 bool logVerbose();
+
+/**
+ * Optional observer for warn()/inform() traffic — the telemetry
+ * layer's tap. When set, every message reaches the hook (regardless
+ * of verbosity and before any rate limiting); stderr emission is
+ * unchanged apart from duplicate suppression. Pass an empty function
+ * to detach.
+ */
+using LogHook =
+    std::function<void(const char *prefix, const std::string &msg)>;
+void setLogHook(LogHook hook);
+
+/**
+ * Duplicate-message rate limit for the stderr path: a message that
+ * repeats verbatim is printed on its first occurrence and then every
+ * `n`th after that (so fault-injection sweeps stop flooding stderr).
+ * `n` == 1 disables suppression. Default: 100.
+ */
+void setLogRepeatEvery(uint64_t n);
+uint64_t logRepeatEvery();
+
+/** Messages swallowed by duplicate suppression since the last reset. */
+uint64_t logSuppressed();
+
+/** Clears the duplicate-tracking table and the suppressed count. */
+void resetLogDedup();
 
 template <typename... Args>
 [[noreturn]] void
@@ -87,7 +118,7 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    if (logVerbose()) {
+    if (logVerbose() || detail::logHookActive()) {
         detail::emitLog("warn",
                         detail::formatPieces(std::forward<Args>(args)...));
     }
@@ -97,7 +128,7 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
-    if (logVerbose()) {
+    if (logVerbose() || detail::logHookActive()) {
         detail::emitLog("info",
                         detail::formatPieces(std::forward<Args>(args)...));
     }

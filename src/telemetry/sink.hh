@@ -1,0 +1,95 @@
+/**
+ * @file
+ * TelemetrySink — pluggable consumers for the telemetry event
+ * stream.
+ *
+ *   NullSink         discard everything (the near-zero-overhead
+ *                    default; flight rings still record)
+ *   JsonlSink        one JSON object per line — greppable, diffable,
+ *                    byte-comparable across deterministic runs
+ *   ChromeTraceSink  Chrome trace-event JSON; load the file in
+ *                    Perfetto (ui.perfetto.dev) or chrome://tracing
+ *                    to see the check lifecycle on a timeline
+ *
+ * Both file sinks serialize through the existing JsonWriter, and
+ * timestamps are sim-clock cycles (mapped to microseconds 1:1 in the
+ * Chrome export), so output is deterministic under a fixed seed.
+ */
+
+#ifndef FLOWGUARD_TELEMETRY_SINK_HH
+#define FLOWGUARD_TELEMETRY_SINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.hh"
+
+namespace flowguard::telemetry {
+
+class TelemetrySink
+{
+  public:
+    virtual ~TelemetrySink() = default;
+
+    /** False lets producers skip event construction entirely. */
+    virtual bool enabled() const { return true; }
+
+    virtual void onEvent(const FlightEvent &event) = 0;
+};
+
+/** Swallows the stream; the disabled-path sink. */
+class NullSink : public TelemetrySink
+{
+  public:
+    bool enabled() const override { return false; }
+    void onEvent(const FlightEvent &) override {}
+};
+
+/** One JSON object per event, newline-delimited. */
+class JsonlSink : public TelemetrySink
+{
+  public:
+    void onEvent(const FlightEvent &event) override;
+
+    /** Serializes one event the way onEvent() does (no newline). */
+    static std::string toJson(const FlightEvent &event);
+
+    const std::string &text() const { return _out; }
+    uint64_t events() const { return _events; }
+    void clear() { _out.clear(); _events = 0; }
+
+    /** Writes the stream to `path`; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::string _out;
+    uint64_t _events = 0;
+};
+
+/**
+ * Buffers spans and instants, renders them as a Chrome trace-event
+ * document: spans become complete ("ph":"X") events, instants become
+ * instant ("ph":"i") events; pid is the process CR3.
+ */
+class ChromeTraceSink : public TelemetrySink
+{
+  public:
+    void onEvent(const FlightEvent &event) override;
+
+    uint64_t events() const { return _events.size(); }
+    void clear() { _events.clear(); }
+
+    /** The {"traceEvents": [...]} document. */
+    std::string render() const;
+
+    /** Renders to `path`; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::vector<FlightEvent> _events;
+};
+
+} // namespace flowguard::telemetry
+
+#endif // FLOWGUARD_TELEMETRY_SINK_HH

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "telemetry/telemetry.hh"
+
 namespace flowguard::trace {
 
 const char *
@@ -76,6 +78,19 @@ FaultInjector::apply(const FaultSpec &spec, std::vector<uint8_t> &buffer)
     return 0;
 }
 
+void
+FaultInjector::note(FaultMode mode, uint64_t magnitude)
+{
+    if (!_telemetry)
+        return;
+    _telemetry->instant(telemetry::EventKind::FaultInjected,
+                        _telemetryCr3, /*seq=*/0,
+                        static_cast<uint64_t>(mode), magnitude);
+    _telemetry->metrics()
+        .counter(std::string("faults.") + faultModeName(mode))
+        .inc();
+}
+
 size_t
 FaultInjector::corruptBytes(std::vector<uint8_t> &buffer, uint32_t n)
 {
@@ -87,6 +102,8 @@ FaultInjector::corruptBytes(std::vector<uint8_t> &buffer, uint32_t n)
         buffer[pos] = static_cast<uint8_t>(_rng.below(256));
         ++touched;
     }
+    if (touched)
+        note(FaultMode::CorruptBytes, touched);
     return touched;
 }
 
@@ -101,6 +118,8 @@ FaultInjector::flipBits(std::vector<uint8_t> &buffer, uint32_t n)
         buffer[pos] ^= static_cast<uint8_t>(1u << _rng.below(8));
         ++touched;
     }
+    if (touched)
+        note(FaultMode::FlipBits, touched);
     return touched;
 }
 
@@ -112,6 +131,8 @@ FaultInjector::truncateTail(std::vector<uint8_t> &buffer)
     const size_t keep = 1 + _rng.below(buffer.size() - 1);
     const size_t removed = buffer.size() - keep;
     buffer.resize(keep);
+    if (removed)
+        note(FaultMode::TruncateTail, removed);
     return removed;
 }
 
@@ -125,6 +146,7 @@ FaultInjector::dropRegion(std::vector<uint8_t> &buffer,
     const size_t start = _rng.below(buffer.size() - len + 1);
     buffer.erase(buffer.begin() + static_cast<int64_t>(start),
                  buffer.begin() + static_cast<int64_t>(start + len));
+    note(FaultMode::DropRegion, len);
     return len;
 }
 
@@ -132,32 +154,46 @@ void
 FaultInjector::delayPmi(Topa &topa, size_t latency_bytes)
 {
     topa.setPmiServiceLatency(latency_bytes);
+    note(FaultMode::DelayedPmi, latency_bytes);
 }
 
 bool
 FaultInjector::failAttach()
 {
-    return _rng.chance(_plan.attachFailRate);
+    const bool fails = _rng.chance(_plan.attachFailRate);
+    if (fails)
+        note(FaultMode::AttachFail, 1);
+    return fails;
 }
 
 bool
 FaultInjector::failTraceStart()
 {
-    return _rng.chance(_plan.traceStartFailRate);
+    const bool fails = _rng.chance(_plan.traceStartFailRate);
+    if (fails)
+        note(FaultMode::TraceStartFail, 1);
+    return fails;
 }
 
 uint32_t
 FaultInjector::pmiStormNow()
 {
-    return _rng.chance(_plan.pmiStormChance) ? _plan.pmiStormBurst : 0;
+    const uint32_t burst =
+        _rng.chance(_plan.pmiStormChance) ? _plan.pmiStormBurst : 0;
+    if (burst)
+        note(FaultMode::PmiStorm, burst);
+    return burst;
 }
 
 uint64_t
 FaultInjector::slowPathStallNow()
 {
-    return _rng.chance(_plan.slowPathStallChance)
+    const uint64_t stall = _rng.chance(_plan.slowPathStallChance)
         ? _plan.slowPathStallCycles
         : 0;
+    if (stall)
+        note(FaultMode::StalledSlowPath, stall);
+    return stall;
 }
 
 size_t
@@ -168,6 +204,7 @@ FaultInjector::tearJournalTail(std::vector<uint8_t> &bytes)
     const size_t removed = static_cast<size_t>(
         _rng.range(1, std::min<uint64_t>(16, bytes.size())));
     bytes.resize(bytes.size() - removed);
+    note(FaultMode::TornJournal, removed);
     return removed;
 }
 

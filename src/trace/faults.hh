@@ -107,6 +107,19 @@ class FaultInjector
     {}
 
     /**
+     * Wires the observability layer: every injected fault emits a
+     * FaultInjected instant (payload: FaultMode ordinal, magnitude)
+     * and bumps a "faults.<mode-name>" counter in the hub's registry.
+     * `cr3` attributes the events (0 = machine-wide). Optional.
+     */
+    void
+    setTelemetry(telemetry::Telemetry *telemetry, uint64_t cr3 = 0)
+    {
+        _telemetry = telemetry;
+        _telemetryCr3 = cr3;
+    }
+
+    /**
      * Applies `spec` to `buffer` (DelayedPmi is a no-op here — it
      * has no buffer form). Returns the number of bytes affected.
      */
@@ -182,8 +195,13 @@ class FaultInjector
     Rng &rng() { return _rng; }
 
   private:
+    /** Emits the FaultInjected instant + counter for one fault. */
+    void note(FaultMode mode, uint64_t magnitude);
+
     Rng _rng;
     ControlFaultPlan _plan;
+    telemetry::Telemetry *_telemetry = nullptr;
+    uint64_t _telemetryCr3 = 0;
 };
 
 } // namespace flowguard::trace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace flowguard::trace {
 
@@ -163,6 +164,9 @@ IptEncoder::maybeOvfResync()
     emit(_scratch);
     ++_stats.ovfPackets;
     ++_stats.psbPackets;
+    if (_telemetry)
+        _telemetry->instant(telemetry::EventKind::Overflow,
+                            _telemetryCr3, _stats.ovfPackets);
     _bytesSincePsb = 0;
     _lastIp = 0;
     _contextOn = false;
@@ -317,6 +321,27 @@ IptEncoder::onBranch(const BranchEvent &event)
         // Handled by the context-on transition above.
         break;
     }
+}
+
+void
+registerIptMetrics(telemetry::MetricRegistry &registry,
+                   const IptStats &stats, const std::string &prefix)
+{
+    registry.addSource(prefix, [&stats, prefix](
+                                   telemetry::MetricRegistry &r) {
+        auto c = [&](const char *name, uint64_t value) {
+            r.counter(prefix + "." + name).set(value);
+        };
+        c("tnt_packets", stats.tntPackets);
+        c("tnt_bits", stats.tntBits);
+        c("tip_packets", stats.tipPackets);
+        c("pge_packets", stats.pgePackets);
+        c("pgd_packets", stats.pgdPackets);
+        c("fup_packets", stats.fupPackets);
+        c("psb_packets", stats.psbPackets);
+        c("ovf_packets", stats.ovfPackets);
+        c("bytes", stats.bytes);
+    });
 }
 
 } // namespace flowguard::trace

@@ -18,11 +18,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cpu/cost_model.hh"
 #include "cpu/events.hh"
 #include "trace/ipt_packets.hh"
+
+namespace flowguard::telemetry {
+class Telemetry;
+class MetricRegistry;
+} // namespace flowguard::telemetry
 
 namespace flowguard::trace {
 
@@ -187,6 +193,15 @@ class IptEncoder : public cpu::TraceSink
     /** Number of reconfigureCr3 calls (§7.2.4 accounting). */
     uint64_t reconfigurations() const { return _reconfigs; }
 
+    /** Wires the observability layer: every OVF resync episode emits
+     *  an Overflow instant attributed to `cr3`. Optional. */
+    void
+    setTelemetry(telemetry::Telemetry *telemetry, uint64_t cr3)
+    {
+        _telemetry = telemetry;
+        _telemetryCr3 = cr3;
+    }
+
     const IptStats &stats() const { return _stats; }
     const IptConfig &config() const { return _config; }
 
@@ -212,7 +227,18 @@ class IptEncoder : public cpu::TraceSink
     uint64_t _reconfigs = 0;
     IptStats _stats;
     std::vector<uint8_t> _scratch;
+    telemetry::Telemetry *_telemetry = nullptr;
+    uint64_t _telemetryCr3 = 0;
 };
+
+/**
+ * Publishes an IptStats into a MetricRegistry as a live source
+ * (re-read at every collect()); names are "<prefix>.tnt_packets",
+ * "<prefix>.bytes", ... The struct must outlive the registry.
+ */
+void registerIptMetrics(telemetry::MetricRegistry &registry,
+                        const IptStats &stats,
+                        const std::string &prefix);
 
 } // namespace flowguard::trace
 

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "support/logging.hh"
 
 namespace {
@@ -74,6 +77,102 @@ TEST(Logging, VerbosityToggle)
     setLogVerbose(false);
     EXPECT_FALSE(logVerbose());
     setLogVerbose(before);
+}
+
+/** Restores the global logging knobs this suite twiddles. */
+class LogHookTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _verbose = logVerbose();
+        _repeat = logRepeatEvery();
+        resetLogDedup();
+    }
+
+    void
+    TearDown() override
+    {
+        setLogHook(LogHook{});
+        setLogVerbose(_verbose);
+        setLogRepeatEvery(_repeat);
+        resetLogDedup();
+    }
+
+    bool _verbose = false;
+    uint64_t _repeat = 100;
+};
+
+TEST_F(LogHookTest, HookReceivesMessagesEvenWhenQuiet)
+{
+    setLogVerbose(false);
+    std::vector<std::string> seen;
+    setLogHook([&](const char *prefix, const std::string &msg) {
+        seen.push_back(std::string(prefix) + ":" + msg);
+    });
+    warn("disk ", 87, "% full");
+    inform("attach ok");
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "warn:disk 87% full");
+    EXPECT_EQ(seen[1], "info:attach ok");
+}
+
+TEST_F(LogHookTest, WithoutHookOrVerbosityNothingIsFormatted)
+{
+    setLogVerbose(false);
+    // No hook, not verbose: suppression bookkeeping must not even
+    // see the message (the fast bail is before formatting).
+    warn("nobody listens");
+    EXPECT_EQ(logSuppressed(), 0u);
+}
+
+TEST_F(LogHookTest, DuplicatesPrintFirstThenEveryNth)
+{
+    setLogVerbose(true);
+    setLogRepeatEvery(3);
+    uint64_t hook_calls = 0;
+    setLogHook([&](const char *, const std::string &) {
+        ++hook_calls;
+    });
+    for (int i = 0; i < 7; ++i)
+        warn("same message");
+    // The hook sees everything — rate limiting is stderr-only.
+    EXPECT_EQ(hook_calls, 7u);
+    // Occurrences 1, 4 and 7 print; 2, 3, 5 and 6 are suppressed.
+    EXPECT_EQ(logSuppressed(), 4u);
+}
+
+TEST_F(LogHookTest, DistinctMessagesAreNotSuppressed)
+{
+    setLogVerbose(true);
+    setLogRepeatEvery(2);
+    warn("message A");
+    warn("message B");
+    warn("message A");   // second A: suppressed
+    EXPECT_EQ(logSuppressed(), 1u);
+}
+
+TEST_F(LogHookTest, RepeatEveryOneDisablesSuppression)
+{
+    setLogVerbose(true);
+    setLogRepeatEvery(1);
+    for (int i = 0; i < 5; ++i)
+        warn("chatty");
+    EXPECT_EQ(logSuppressed(), 0u);
+}
+
+TEST_F(LogHookTest, ResetClearsTheDedupTable)
+{
+    setLogVerbose(true);
+    setLogRepeatEvery(10);
+    warn("repeated");
+    warn("repeated");
+    EXPECT_EQ(logSuppressed(), 1u);
+    resetLogDedup();
+    EXPECT_EQ(logSuppressed(), 0u);
+    warn("repeated");    // first again after reset: printed
+    EXPECT_EQ(logSuppressed(), 0u);
 }
 
 } // namespace

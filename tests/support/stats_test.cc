@@ -140,6 +140,68 @@ TEST(JsonWriter, MisuseIsFatal)
     }
 }
 
+TEST(JsonWriter, EscapesEveryControlCharacter)
+{
+    // All of 0x00-0x1F must come out as valid JSON escapes — either a
+    // short form (\n, \t, ...) or \u00XX — never raw bytes.
+    std::string raw;
+    for (char c = 0; c < 0x20; ++c)
+        raw.push_back(c);
+    JsonWriter json;
+    json.value(raw);
+    const std::string out = json.str();
+    for (char c = 1; c < 0x20; ++c)
+        EXPECT_EQ(out.find(c), std::string::npos)
+            << "raw control byte " << static_cast<int>(c)
+            << " leaked into JSON";
+    EXPECT_NE(out.find("\\u0000"), std::string::npos);
+    EXPECT_NE(out.find("\\n"), std::string::npos);
+    EXPECT_NE(out.find("\\t"), std::string::npos);
+    EXPECT_NE(out.find("\\u001f"), std::string::npos);
+}
+
+TEST(JsonWriter, Utf8PassesThroughUnescaped)
+{
+    // Multi-byte UTF-8 is already valid JSON string content; escaping
+    // it would bloat every path/name field.
+    JsonWriter json;
+    json.value(std::string("caf\xC3\xA9 \xE2\x86\x92 \xF0\x9F\x94\x92"));
+    EXPECT_EQ(json.str(),
+              "\"caf\xC3\xA9 \xE2\x86\x92 \xF0\x9F\x94\x92\"");
+}
+
+TEST(JsonWriter, SurvivesDeepNesting)
+{
+    // ~100 levels of alternating object/array nesting: the writer's
+    // container stack must neither overflow nor lose track of
+    // closers.
+    JsonWriter json;
+    constexpr int depth = 100;
+    for (int i = 0; i < depth; ++i) {
+        json.beginObject().key("d");
+        json.beginArray();
+    }
+    json.value(1);
+    for (int i = 0; i < depth; ++i) {
+        json.endArray();
+        json.endObject();
+    }
+    const std::string out = json.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'), depth);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '}'), depth);
+    EXPECT_NE(out.find("\"d\":[1]"), std::string::npos);
+}
+
+TEST(JsonWriter, WriteFileFailureIsFatal)
+{
+    JsonWriter json;
+    json.beginObject().endObject();
+    // Directory path that cannot exist as a file parent.
+    EXPECT_THROW(
+        json.writeFile("/nonexistent-dir-xyz/sub/out.json"),
+        SimError);
+}
+
 TEST(JsonWriter, WritesFile)
 {
     const std::string path =

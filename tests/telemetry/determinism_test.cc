@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Determinism property (ISSUE acceptance): under a fixed seed, two
+ * identical protected runs emit byte-identical telemetry — the JSONL
+ * event stream, the Chrome trace document, and the collected metric
+ * registry. Timestamps come from the sim clock, span ids from a
+ * per-hub counter, and metric iteration is name-sorted, so nothing
+ * in the stream may depend on wall clock or address layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/flowguard.hh"
+#include "telemetry/telemetry.hh"
+#include "workloads/apps.hh"
+
+namespace {
+
+using namespace flowguard;
+
+struct Artifacts
+{
+    std::string jsonl;
+    std::string chrome;
+    std::string metrics;
+};
+
+Artifacts
+traceOneRun(const workloads::SyntheticApp &app, size_t handlers,
+            size_t states, uint64_t seed)
+{
+    telemetry::Telemetry hub;
+    telemetry::JsonlSink jsonl;
+    hub.setSink(&jsonl);
+
+    FlowGuardConfig config;
+    config.telemetry = &hub;
+    FlowGuard guard(app.program, config);
+    guard.analyze();
+    std::vector<fuzz::Input> corpus;
+    for (uint64_t s = 1; s <= 4; ++s)
+        corpus.push_back(
+            workloads::makeBenignStream(8, s, handlers, states));
+    guard.trainWithCorpus(corpus);
+
+    auto input = workloads::makeBenignStream(10, seed, handlers,
+                                             states);
+    auto outcome = guard.run(input);
+    EXPECT_FALSE(outcome.attackDetected);
+    EXPECT_GT(jsonl.events(), 0u);
+
+    // Replay the identical event stream into a Chrome sink: one
+    // lifecycle, both serializations.
+    Artifacts out;
+    out.jsonl = jsonl.text();
+    telemetry::ChromeTraceSink chrome;
+    for (const auto &event : hub.dumpRecorder(app.program.cr3()))
+        chrome.onEvent(event);
+    out.chrome = chrome.render();
+
+    telemetry::MetricRegistry registry;
+    runtime::registerMonitorMetrics(registry, outcome.monitor,
+                                    "monitor");
+    trace::registerIptMetrics(registry, outcome.trace, "ipt");
+    registry.collect();
+    out.metrics = registry.toJson();
+    return out;
+}
+
+TEST(TelemetryDeterminism, IdenticalRunsEmitByteIdenticalStreams)
+{
+    workloads::ServerSpec spec =
+        workloads::serverSuite(/*implant_vuln=*/false)[0];
+    workloads::SyntheticApp app(workloads::buildServerApp(spec));
+
+    for (uint64_t seed : {3u, 17u, 91u}) {
+        const Artifacts first = traceOneRun(
+            app, spec.numHandlers, spec.numParserStates, seed);
+        const Artifacts second = traceOneRun(
+            app, spec.numHandlers, spec.numParserStates, seed);
+        EXPECT_EQ(first.jsonl, second.jsonl)
+            << "JSONL stream diverged for seed " << seed;
+        EXPECT_EQ(first.chrome, second.chrome)
+            << "Chrome trace diverged for seed " << seed;
+        EXPECT_EQ(first.metrics, second.metrics)
+            << "metric registry diverged for seed " << seed;
+    }
+}
+
+TEST(TelemetryDeterminism, DifferentSeedsEmitDifferentStreams)
+{
+    // Sanity for the property above: the streams are not trivially
+    // equal because they are empty or constant.
+    workloads::ServerSpec spec =
+        workloads::serverSuite(/*implant_vuln=*/false)[0];
+    workloads::SyntheticApp app(workloads::buildServerApp(spec));
+    const Artifacts a = traceOneRun(app, spec.numHandlers,
+                                    spec.numParserStates, 3);
+    const Artifacts b = traceOneRun(app, spec.numHandlers,
+                                    spec.numParserStates, 17);
+    EXPECT_NE(a.jsonl, b.jsonl);
+}
+
+} // namespace
